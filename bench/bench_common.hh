@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared infrastructure for the benchmark binaries.
+ *
+ * Every table and figure of the paper's evaluation (section 5) has
+ * one binary here. Each (workload, configuration) cell is registered
+ * as a google-benchmark with a single iteration — a cell is a full
+ * program simulation, so statistical repetition adds nothing — and
+ * the results are cached so a paper-style table can be printed after
+ * the run. Counters attached to each benchmark (IPC, speedup,
+ * prediction accuracy, squashes) also appear in google-benchmark's
+ * own report, including its JSON output.
+ */
+
+#ifndef MSIM_BENCH_BENCH_COMMON_HH
+#define MSIM_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "workloads/workload.hh"
+
+namespace msim::bench {
+
+/** The paper's benchmark order (Tables 2-4). */
+inline const std::vector<std::string> kPaperOrder = {
+    "compress", "eqntott", "espresso", "gcc", "sc",
+    "xlisp", "tomcatv", "cmp", "wc", "example",
+};
+
+/** Cache of run results keyed by an arbitrary cell name. */
+class ResultCache
+{
+  public:
+    RunResult &
+    operator[](const std::string &key)
+    {
+        return results_[key];
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        return results_.count(key) > 0;
+    }
+
+    const RunResult &
+    at(const std::string &key) const
+    {
+        return results_.at(key);
+    }
+
+  private:
+    std::map<std::string, RunResult> results_;
+};
+
+inline ResultCache &
+cache()
+{
+    static ResultCache c;
+    return c;
+}
+
+/** Run one cell and attach its headline numbers as counters. */
+inline void
+runCell(benchmark::State &state, const std::string &key,
+        const workloads::Workload &workload, const RunSpec &spec)
+{
+    RunResult result;
+    for (auto _ : state) {
+        result = runWorkload(workload, spec);
+    }
+    cache()[key] = result;
+    state.counters["sim_cycles"] = double(result.cycles);
+    state.counters["instructions"] = double(result.instructions);
+    state.counters["IPC"] = result.ipc();
+    state.counters["pred_acc"] = result.predAccuracy();
+    state.counters["squashes"] =
+        double(result.controlSquashes + result.memorySquashes +
+               result.arbFullSquashes);
+}
+
+/**
+ * Register one benchmark cell.
+ *
+ * @param key Unique cell name (also the google-benchmark name).
+ * @param workload_name Workload to run.
+ * @param spec Machine configuration.
+ */
+inline void
+registerCell(const std::string &key, const std::string &workload_name,
+             const RunSpec &spec)
+{
+    benchmark::RegisterBenchmark(
+        key.c_str(),
+        [key, workload_name, spec](benchmark::State &state) {
+            workloads::Workload w = workloads::get(workload_name);
+            runCell(state, key, w, spec);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+/** Standard main: run benchmarks, then print the paper-style table. */
+inline int
+benchMain(int argc, char **argv, const std::function<void()> &reg,
+          const std::function<void()> &report)
+{
+    benchmark::Initialize(&argc, argv);
+    reg();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    report();
+    return 0;
+}
+
+} // namespace msim::bench
+
+#endif // MSIM_BENCH_BENCH_COMMON_HH

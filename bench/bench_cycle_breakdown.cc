@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces the section 3 analysis: the distribution of the
+ * available processing unit cycles in multiscalar execution — useful
+ * computation, non-useful (squashed) computation, no-computation
+ * cycles (split into waiting for predecessor values, intra-task
+ * latency, fetch stalls and waiting for retirement), and idle cycles
+ * (no assigned task). Reported for the 8-unit, 1-way, in-order
+ * configuration as percentages of all unit-cycles.
+ */
+
+#include "bench/bench_common.hh"
+
+namespace {
+
+using namespace msim;
+using namespace msim::bench;
+
+constexpr unsigned kUnits = 8;
+
+void
+registerAll()
+{
+    for (const std::string &name : kPaperOrder) {
+        RunSpec ms;
+        ms.multiscalar = true;
+        ms.ms.numUnits = kUnits;
+        registerCell("breakdown/" + name, name, ms);
+    }
+}
+
+void
+report()
+{
+    std::printf("\nSection 3: distribution of unit cycles "
+                "(8-unit, 1-way, in-order; %% of all unit-cycles)\n");
+    std::printf("%-10s %7s %8s %9s %9s %8s %9s %6s\n", "Program",
+                "useful", "nonuse", "waitPred", "waitIntra", "fetch",
+                "waitRet", "idle");
+    for (const std::string &name : kPaperOrder) {
+        const auto &r = cache().at("breakdown/" + name);
+        const double total = double(r.cycles) * kUnits;
+        auto pct = [&](std::uint64_t v) {
+            return 100.0 * double(v) / total;
+        };
+        const auto &u = r.usefulCycles;
+        std::printf(
+            "%-10s %6.1f%% %7.1f%% %8.1f%% %8.1f%% %7.1f%% %8.1f%% "
+            "%5.1f%%\n",
+            name.c_str(), pct(u.busy), pct(r.squashedCycles.total()),
+            pct(u.waitPred), pct(u.waitIntra), pct(u.fetchStall),
+            pct(u.waitRetire), pct(r.idleCycles));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return msim::bench::benchMain(argc, argv, registerAll, report);
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Simulator throughput: how many simulated instructions and cycles
+ * per host second each machine model achieves. This is the one bench
+ * where google-benchmark's statistical repetition is meaningful, so
+ * cells run with normal iteration counts.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/runner.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace msim;
+
+void
+simScalar(benchmark::State &state)
+{
+    workloads::Workload w = workloads::get("wc");
+    RunSpec spec;
+    spec.multiscalar = false;
+    std::uint64_t instrs = 0, cycles = 0;
+    for (auto _ : state) {
+        RunResult r = runWorkload(w, spec);
+        instrs += r.instructions;
+        cycles += r.cycles;
+    }
+    state.counters["sim_instrs_per_s"] = benchmark::Counter(
+        double(instrs), benchmark::Counter::kIsRate);
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+}
+
+void
+simMultiscalar(benchmark::State &state)
+{
+    workloads::Workload w = workloads::get("wc");
+    RunSpec spec;
+    spec.multiscalar = true;
+    spec.ms.numUnits = unsigned(state.range(0));
+    std::uint64_t instrs = 0, cycles = 0;
+    for (auto _ : state) {
+        RunResult r = runWorkload(w, spec);
+        instrs += r.instructions;
+        cycles += r.cycles;
+    }
+    state.counters["sim_instrs_per_s"] = benchmark::Counter(
+        double(instrs), benchmark::Counter::kIsRate);
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(simScalar)->Unit(benchmark::kMillisecond);
+BENCHMARK(simMultiscalar)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Table 2 of the paper: dynamic instruction counts of the
+ * scalar and multiscalar binaries of every benchmark, and the percent
+ * increase. The extra multiscalar instructions "serve to ensure
+ * correct execution (such as the use of release instructions) or to
+ * enhance performance (such as the creation of local copies of loop
+ * induction variables)".
+ *
+ * Both binaries come from the same source: lines prefixed @ms exist
+ * only in the multiscalar assembly.
+ */
+
+#include "bench/bench_common.hh"
+
+namespace {
+
+using namespace msim;
+using namespace msim::bench;
+
+void
+registerAll()
+{
+    for (const std::string &name : kPaperOrder) {
+        RunSpec scalar;
+        scalar.multiscalar = false;
+        registerCell("table2/" + name + "/scalar", name, scalar);
+        RunSpec ms;
+        ms.multiscalar = true;
+        ms.ms.numUnits = 4;
+        registerCell("table2/" + name + "/multiscalar", name, ms);
+    }
+}
+
+void
+report()
+{
+    std::printf("\n");
+    std::printf("Table 2: Benchmark Instruction Counts\n");
+    std::printf("%-10s %14s %14s %10s\n", "Program", "Scalar",
+                "Multiscalar", "Increase");
+    for (const std::string &name : kPaperOrder) {
+        const auto &sc = cache().at("table2/" + name + "/scalar");
+        const auto &ms = cache().at("table2/" + name + "/multiscalar");
+        const double pct =
+            100.0 * (double(ms.instructions) - double(sc.instructions)) /
+            double(sc.instructions);
+        std::printf("%-10s %14llu %14llu %9.1f%%\n", name.c_str(),
+                    (unsigned long long)sc.instructions,
+                    (unsigned long long)ms.instructions, pct);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return msim::bench::benchMain(argc, argv, registerAll, report);
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Reproduces Table 3 of the paper: in-order issue processing units.
+ * Scalar IPC, 4-/8-unit speedups, and task prediction accuracies for
+ * 1-way and 2-way issue.
+ */
+
+#include "bench/bench_table34.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace msim::bench;
+    return benchMain(
+        argc, argv, [] { registerTable34("table3", false); },
+        [] {
+            reportTable34("table3",
+                          "Table 3: In-Order Issue Processing Units");
+        });
+}

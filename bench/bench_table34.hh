@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared implementation of Tables 3 and 4 of the paper: for each
+ * benchmark, the scalar IPC, the 4-unit and 8-unit multiscalar
+ * speedups (over the scalar machine with identical processing units),
+ * and the task prediction accuracies, for 1-way and 2-way issue
+ * units. Table 3 uses in-order units, Table 4 out-of-order units.
+ */
+
+#ifndef MSIM_BENCH_BENCH_TABLE34_HH
+#define MSIM_BENCH_BENCH_TABLE34_HH
+
+#include "bench/bench_common.hh"
+
+namespace msim::bench {
+
+inline void
+registerTable34(const std::string &table, bool out_of_order)
+{
+    for (const std::string &name : kPaperOrder) {
+        for (unsigned width : {1u, 2u}) {
+            RunSpec scalar;
+            scalar.multiscalar = false;
+            scalar.scalar.pu.issueWidth = width;
+            scalar.scalar.pu.outOfOrder = out_of_order;
+            registerCell(table + "/" + name + "/scalar_" +
+                             std::to_string(width) + "way",
+                         name, scalar);
+            for (unsigned units : {4u, 8u}) {
+                RunSpec ms;
+                ms.multiscalar = true;
+                ms.ms.numUnits = units;
+                ms.ms.pu.issueWidth = width;
+                ms.ms.pu.outOfOrder = out_of_order;
+                registerCell(table + "/" + name + "/" +
+                                 std::to_string(units) + "unit_" +
+                                 std::to_string(width) + "way",
+                             name, ms);
+            }
+        }
+    }
+}
+
+inline void
+reportTable34(const std::string &table, const std::string &title)
+{
+    std::printf("\n%s\n", title.c_str());
+    std::printf("%-10s | %6s %8s %6s %8s %6s | "
+                "%6s %8s %6s %8s %6s\n",
+                "", "1-way", "", "", "", "", "2-way", "", "", "", "");
+    std::printf("%-10s | %6s %8s %6s %8s %6s | "
+                "%6s %8s %6s %8s %6s\n",
+                "Program", "IPC", "4U-Spd", "Pred", "8U-Spd", "Pred",
+                "IPC", "4U-Spd", "Pred", "8U-Spd", "Pred");
+    for (const std::string &name : kPaperOrder) {
+        std::printf("%-10s |", name.c_str());
+        for (unsigned width : {1u, 2u}) {
+            const auto &sc = cache().at(table + "/" + name +
+                                        "/scalar_" +
+                                        std::to_string(width) + "way");
+            std::printf(" %6.2f", sc.ipc());
+            for (unsigned units : {4u, 8u}) {
+                const auto &ms = cache().at(
+                    table + "/" + name + "/" + std::to_string(units) +
+                    "unit_" + std::to_string(width) + "way");
+                std::printf(" %8.2f %5.1f%%",
+                            double(sc.cycles) / double(ms.cycles),
+                            100.0 * ms.predAccuracy());
+            }
+            if (width == 1)
+                std::printf(" |");
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace msim::bench
+
+#endif // MSIM_BENCH_BENCH_TABLE34_HH

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces Table 4 of the paper: out-of-order issue processing
+ * units. Scalar IPC, 4-/8-unit speedups, and task prediction
+ * accuracies for 1-way and 2-way issue.
+ */
+
+#include "bench/bench_table34.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace msim::bench;
+    return benchMain(
+        argc, argv, [] { registerTable34("table4", true); },
+        [] {
+            reportTable34(
+                "table4",
+                "Table 4: Out-Of-Order Issue Processing Units");
+        });
+}

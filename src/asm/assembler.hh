@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The msim two-pass assembler.
+ *
+ * Accepts MIPS-flavored assembly extended with the multiscalar
+ * annotations of paper section 2.2:
+ *
+ *  - task descriptors:
+ *        .task LABEL
+ *        .targets OUTER:loop, OUTERFALLOUT
+ *        .create $4, $8, $17, $20, $23
+ *        .endtask
+ *    Target specs: plain (normal), ":loop", ":call:RETLABEL" (pushes
+ *    RETLABEL on the return address stack), and the bare token "ret"
+ *    (successor is popped from the return address stack).
+ *
+ *  - tag bits as instruction suffixes: !f (forward), !s (stop
+ *    always), !st (stop if taken), !sn (stop if not taken).
+ *
+ *  - the "release r1[, r2]" instruction; longer register lists are
+ *    split into multiple release instructions.
+ *
+ *  - conditional assembly: a line prefixed "@ms" is assembled only in
+ *    multiscalar mode, "@sc" only in scalar mode, "@def(NAME)" /
+ *    "@ndef(NAME)" only when NAME is (not) defined. This lets one
+ *    workload source produce both the scalar and the multiscalar
+ *    binary, reproducing the Table 2 instruction count deltas.
+ *
+ * Pseudo-instructions: li, la, move, b, beqz, bnez, bgt, blt, bge,
+ * ble, neg, not, subi, and absolute-address loads/stores
+ * ("lw $4, label"). Tags attach to the last instruction of an
+ * expansion.
+ */
+
+#ifndef MSIM_ASM_ASSEMBLER_HH
+#define MSIM_ASM_ASSEMBLER_HH
+
+#include <set>
+#include <string>
+
+#include "program/program.hh"
+
+namespace msim::assembler {
+
+/** Assembly options. */
+struct AsmOptions
+{
+    /** Assemble multiscalar annotations (false = scalar binary). */
+    bool multiscalar = true;
+    /** Symbols for @def()/@ndef() conditional lines. */
+    std::set<std::string> defines;
+    /** File name used in diagnostics. */
+    std::string fileName = "<asm>";
+};
+
+/**
+ * Assemble a complete program from source text.
+ *
+ * Throws FatalError with a file:line diagnostic on any error.
+ */
+Program assemble(const std::string &source, const AsmOptions &opts = {});
+
+} // namespace msim::assembler
+
+#endif // MSIM_ASM_ASSEMBLER_HH

@@ -1,0 +1,265 @@
+#include "asm/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "isa/registers.hh"
+
+namespace msim::assembler {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+}
+
+[[noreturn]] void
+lexError(const std::string &file, int line_no, int col,
+         const std::string &msg)
+{
+    fatal(file, ":", line_no, ":", col + 1, ": ", msg);
+}
+
+} // namespace
+
+std::vector<Token>
+tokenizeLine(const std::string &line, int line_no, const std::string &file)
+{
+    std::vector<Token> toks;
+    size_t i = 0;
+    const size_t n = line.size();
+
+    auto push = [&](TokKind kind, std::string text, int col) {
+        Token t;
+        t.kind = kind;
+        t.text = std::move(text);
+        t.column = col;
+        toks.push_back(std::move(t));
+    };
+
+    while (i < n) {
+        char c = line[i];
+        int col = int(i);
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '#')
+            break;  // comment
+
+        if (c == '@') {
+            // Mode prefix: @ms / @sc / @def(NAME) / @ndef(NAME).
+            size_t j = i + 1;
+            while (j < n && (isIdentChar(line[j]) || line[j] == '(' ||
+                             line[j] == ')'))
+                ++j;
+            push(TokKind::kAt, line.substr(i, j - i), col);
+            i = j;
+            continue;
+        }
+
+        if (c == '!') {
+            size_t j = i + 1;
+            while (j < n && std::isalpha(static_cast<unsigned char>(line[j])))
+                ++j;
+            std::string tag = line.substr(i, j - i);
+            if (tag != "!f" && tag != "!s" && tag != "!st" && tag != "!sn")
+                lexError(file, line_no, col, "unknown tag '" + tag + "'");
+            push(TokKind::kTag, tag, col);
+            i = j;
+            continue;
+        }
+
+        if (c == '$') {
+            size_t j = i + 1;
+            while (j < n && (std::isalnum(static_cast<unsigned char>(
+                                 line[j])) ||
+                             line[j] == '_'))
+                ++j;
+            std::string name = line.substr(i, j - i);
+            auto reg = isa::parseRegName(name);
+            if (!reg)
+                lexError(file, line_no, col,
+                         "bad register name '" + name + "'");
+            Token t;
+            t.kind = TokKind::kReg;
+            t.text = name;
+            t.reg = *reg;
+            t.column = col;
+            toks.push_back(std::move(t));
+            i = j;
+            continue;
+        }
+
+        if (c == '.') {
+            // Directive (only if followed by a letter).
+            if (i + 1 < n && isIdentStart(line[i + 1])) {
+                size_t j = i + 1;
+                while (j < n && isIdentChar(line[j]))
+                    ++j;
+                push(TokKind::kDirective, line.substr(i, j - i), col);
+                i = j;
+                continue;
+            }
+            lexError(file, line_no, col, "stray '.'");
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            // Number: integer (dec/hex) or float. Capture a maximal
+            // run of number-ish characters.
+            size_t j = i;
+            bool hex = (c == '0' && i + 1 < n &&
+                        (line[i + 1] == 'x' || line[i + 1] == 'X'));
+            if (hex)
+                j = i + 2;
+            while (j < n) {
+                char d = line[j];
+                bool ok = std::isdigit(static_cast<unsigned char>(d));
+                if (hex) {
+                    ok = ok || std::isxdigit(static_cast<unsigned char>(d));
+                } else {
+                    ok = ok || d == '.' || d == 'e' || d == 'E';
+                    if ((d == '+' || d == '-') && j > i &&
+                        (line[j - 1] == 'e' || line[j - 1] == 'E'))
+                        ok = true;
+                }
+                if (!ok)
+                    break;
+                ++j;
+            }
+            push(TokKind::kNumber, line.substr(i, j - i), col);
+            i = j;
+            continue;
+        }
+
+        if (c == '\'') {
+            // Character literal -> number token with decimal text.
+            size_t j = i + 1;
+            if (j >= n)
+                lexError(file, line_no, col, "unterminated char literal");
+            char v = line[j];
+            if (v == '\\') {
+                ++j;
+                if (j >= n)
+                    lexError(file, line_no, col,
+                             "unterminated char literal");
+                switch (line[j]) {
+                  case 'n': v = '\n'; break;
+                  case 't': v = '\t'; break;
+                  case '0': v = '\0'; break;
+                  case '\\': v = '\\'; break;
+                  case '\'': v = '\''; break;
+                  default:
+                    lexError(file, line_no, col, "bad escape");
+                }
+            }
+            ++j;
+            if (j >= n || line[j] != '\'')
+                lexError(file, line_no, col, "unterminated char literal");
+            push(TokKind::kNumber, std::to_string(int(v)), col);
+            i = j + 1;
+            continue;
+        }
+
+        if (c == '"') {
+            std::string value;
+            size_t j = i + 1;
+            while (j < n && line[j] != '"') {
+                char v = line[j];
+                if (v == '\\') {
+                    ++j;
+                    if (j >= n)
+                        break;
+                    switch (line[j]) {
+                      case 'n': v = '\n'; break;
+                      case 't': v = '\t'; break;
+                      case '0': v = '\0'; break;
+                      case '\\': v = '\\'; break;
+                      case '"': v = '"'; break;
+                      default:
+                        lexError(file, line_no, int(j), "bad escape");
+                    }
+                }
+                value.push_back(v);
+                ++j;
+            }
+            if (j >= n)
+                lexError(file, line_no, col, "unterminated string");
+            push(TokKind::kString, value, col);
+            i = j + 1;
+            continue;
+        }
+
+        if (isIdentStart(c)) {
+            size_t j = i;
+            while (j < n && isIdentChar(line[j]))
+                ++j;
+            push(TokKind::kIdent, line.substr(i, j - i), col);
+            i = j;
+            continue;
+        }
+
+        switch (c) {
+          case ',':
+            push(TokKind::kComma, ",", col);
+            break;
+          case '(':
+            push(TokKind::kLParen, "(", col);
+            break;
+          case ')':
+            push(TokKind::kRParen, ")", col);
+            break;
+          case ':':
+            push(TokKind::kColon, ":", col);
+            break;
+          case '+':
+            push(TokKind::kPlus, "+", col);
+            break;
+          case '-':
+            push(TokKind::kMinus, "-", col);
+            break;
+          default:
+            lexError(file, line_no, col,
+                     std::string("stray character '") + c + "'");
+        }
+        ++i;
+    }
+    return toks;
+}
+
+std::int64_t
+parseInt(const Token &tok, int line_no, const std::string &file)
+{
+    fatalIf(tok.kind != TokKind::kNumber,
+            file, ":", line_no, ": expected integer, got '", tok.text, "'");
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(tok.text.c_str(), &end, 0);
+    fatalIf(end == tok.text.c_str() || *end != '\0' || errno != 0,
+            file, ":", line_no, ": bad integer '", tok.text, "'");
+    return v;
+}
+
+double
+parseFloat(const Token &tok, int line_no, const std::string &file)
+{
+    fatalIf(tok.kind != TokKind::kNumber,
+            file, ":", line_no, ": expected float, got '", tok.text, "'");
+    char *end = nullptr;
+    double v = std::strtod(tok.text.c_str(), &end);
+    fatalIf(end == tok.text.c_str() || *end != '\0',
+            file, ":", line_no, ": bad float '", tok.text, "'");
+    return v;
+}
+
+} // namespace msim::assembler

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Line lexer for msim assembly source.
+ *
+ * Assembly is line oriented. Each line is tokenized into labels,
+ * mnemonics/directives, registers, numbers, strings, punctuation and
+ * multiscalar tag annotations (!f, !s, !st, !sn). Comments start with
+ * '#' and run to end of line. Lines may start with mode prefixes
+ * (@ms, @sc, @def(NAME), @ndef(NAME)) which the assembler uses for
+ * conditional assembly; the lexer surfaces them as kAt tokens.
+ */
+
+#ifndef MSIM_ASM_LEXER_HH
+#define MSIM_ASM_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace msim::assembler {
+
+/** Token kinds produced by the lexer. */
+enum class TokKind : std::uint8_t {
+    kIdent,      //!< identifier / mnemonic (may contain '.')
+    kDirective,  //!< .word, .task, ... (leading '.')
+    kReg,        //!< $n / $name / $fn
+    kNumber,     //!< integer or float literal (raw text kept)
+    kString,     //!< "..." (value has escapes resolved)
+    kComma,
+    kLParen,
+    kRParen,
+    kColon,
+    kPlus,
+    kMinus,
+    kTag,        //!< !f / !s / !st / !sn
+    kAt,         //!< @ms / @sc / @def(NAME) / @ndef(NAME)
+};
+
+/** One token. */
+struct Token
+{
+    TokKind kind;
+    /** Raw text (identifier name, number text, string value, ...). */
+    std::string text;
+    /** Unified register index for kReg tokens. */
+    RegIndex reg = kNoReg;
+    /** Column for diagnostics. */
+    int column = 0;
+};
+
+/**
+ * Tokenize one line of assembly.
+ *
+ * @param line The source line (no trailing newline required).
+ * @param line_no 1-based line number, used in error messages.
+ * @param file File name for error messages.
+ * @return the token list (comments stripped).
+ *
+ * Throws FatalError on malformed input (bad register, unterminated
+ * string, stray character).
+ */
+std::vector<Token> tokenizeLine(const std::string &line, int line_no,
+                                const std::string &file);
+
+/** Parse a kNumber token's text as a signed 64-bit integer. */
+std::int64_t parseInt(const Token &tok, int line_no,
+                      const std::string &file);
+
+/** Parse a kNumber token's text as a double. */
+double parseFloat(const Token &tok, int line_no, const std::string &file);
+
+} // namespace msim::assembler
+
+#endif // MSIM_ASM_LEXER_HH

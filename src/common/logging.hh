@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal simulator bugs (conditions that should never
+ * happen regardless of user input); fatal() is for user errors such as
+ * malformed assembly or invalid configurations.
+ */
+
+#ifndef MSIM_COMMON_LOGGING_HH
+#define MSIM_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace msim {
+
+/** Exception thrown by fatal(): a user-level error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Exception thrown by panic(): an internal simulator bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort the simulation by
+ * throwing PanicError. All arguments are streamed into the message.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::formatInto(os, args...);
+    throw PanicError(os.str());
+}
+
+/**
+ * Report a user error (bad input, bad configuration) and stop by
+ * throwing FatalError. All arguments are streamed into the message.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::formatInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Assert an invariant; panics with the given message when violated. */
+template <typename... Args>
+void
+panicIf(bool condition, const Args &...args)
+{
+    if (condition)
+        panic(args...);
+}
+
+/** Report a user error when the condition holds. */
+template <typename... Args>
+void
+fatalIf(bool condition, const Args &...args)
+{
+    if (condition)
+        fatal(args...);
+}
+
+} // namespace msim
+
+#endif // MSIM_COMMON_LOGGING_HH

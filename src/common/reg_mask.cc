@@ -1,0 +1,26 @@
+#include "common/reg_mask.hh"
+
+#include <sstream>
+
+namespace msim {
+
+std::string
+RegMask::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (int r = 0; r < kNumRegs; ++r) {
+        if (!test(r))
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        if (r < kNumIntRegs)
+            os << "$" << r;
+        else
+            os << "$f" << (r - kNumIntRegs);
+    }
+    return os.str();
+}
+
+} // namespace msim

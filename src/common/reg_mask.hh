@@ -1,0 +1,111 @@
+/**
+ * @file
+ * RegMask: a bit mask over the unified 64-register name space.
+ *
+ * Create masks and accum masks in the multiscalar paradigm (paper
+ * section 2.2) are represented as RegMask values. A create mask lists
+ * the registers a task may produce; an accum mask is the union of the
+ * create masks of the active predecessor tasks and encodes the
+ * reservations a processing unit places on its register file.
+ */
+
+#ifndef MSIM_COMMON_REG_MASK_HH
+#define MSIM_COMMON_REG_MASK_HH
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace msim {
+
+/** A set of registers in the unified 64-register index space. */
+class RegMask
+{
+  public:
+    /** Construct an empty mask. */
+    constexpr RegMask() = default;
+
+    /** Construct from a raw 64-bit value (bit i <=> register i). */
+    explicit constexpr RegMask(std::uint64_t bits) : bits_(bits) {}
+
+    /** Construct from a list of register indices. */
+    RegMask(std::initializer_list<int> regs)
+    {
+        for (int r : regs)
+            set(r);
+    }
+
+    /** Add register @p reg to the mask. */
+    void
+    set(int reg)
+    {
+        panicIf(reg < 0 || reg >= kNumRegs, "RegMask::set bad reg ", reg);
+        bits_ |= std::uint64_t(1) << reg;
+    }
+
+    /** Remove register @p reg from the mask. */
+    void
+    clear(int reg)
+    {
+        panicIf(reg < 0 || reg >= kNumRegs, "RegMask::clear bad reg ", reg);
+        bits_ &= ~(std::uint64_t(1) << reg);
+    }
+
+    /** @return true when register @p reg is in the mask. */
+    bool
+    test(int reg) const
+    {
+        if (reg < 0 || reg >= kNumRegs)
+            return false;
+        return (bits_ >> reg) & 1;
+    }
+
+    /** @return true when no register is in the mask. */
+    bool empty() const { return bits_ == 0; }
+
+    /** @return the number of registers in the mask. */
+    int count() const { return std::popcount(bits_); }
+
+    /** @return the raw 64-bit representation. */
+    std::uint64_t bits() const { return bits_; }
+
+    /** Union. */
+    RegMask operator|(const RegMask &o) const
+    {
+        return RegMask(bits_ | o.bits_);
+    }
+
+    /** Intersection. */
+    RegMask operator&(const RegMask &o) const
+    {
+        return RegMask(bits_ & o.bits_);
+    }
+
+    /** Difference: registers in this mask but not in @p o. */
+    RegMask operator-(const RegMask &o) const
+    {
+        return RegMask(bits_ & ~o.bits_);
+    }
+
+    RegMask &operator|=(const RegMask &o) { bits_ |= o.bits_; return *this; }
+    RegMask &operator&=(const RegMask &o) { bits_ &= o.bits_; return *this; }
+
+    bool operator==(const RegMask &o) const = default;
+
+    /**
+     * Render the mask in assembly notation, e.g. "$4,$8,$f2".
+     * Integer registers print as $n and floating point as $fn.
+     */
+    std::string toString() const;
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace msim
+
+#endif // MSIM_COMMON_REG_MASK_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A small deterministic pseudo-random number generator (xorshift64*)
+ * used by workload input generators and property-based tests. Using
+ * our own generator keeps every simulation run reproducible across
+ * platforms and standard library versions.
+ */
+
+#ifndef MSIM_COMMON_RNG_HH
+#define MSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace msim {
+
+/** Deterministic xorshift64* generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {
+    }
+
+    /** @return the next 64-bit pseudo-random value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** @return a value uniformly distributed in [0, bound). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return bound == 0 ? 0 : next() % bound;
+    }
+
+    /** @return an integer uniformly distributed in [lo, hi]. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + std::int64_t(below(std::uint64_t(hi - lo + 1)));
+    }
+
+    /** @return a double in [0, 1). */
+    double
+    real()
+    {
+        return double(next() >> 11) / double(1ull << 53);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace msim
+
+#endif // MSIM_COMMON_RNG_HH

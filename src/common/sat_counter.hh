@@ -1,0 +1,72 @@
+/**
+ * @file
+ * An n-bit saturating counter, the building block of dynamic
+ * predictors (used by the PAs task predictor and the optional
+ * per-unit branch predictor).
+ */
+
+#ifndef MSIM_COMMON_SAT_COUNTER_HH
+#define MSIM_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace msim {
+
+/** An unsigned saturating counter with a configurable bit width. */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits Counter width in bits (1-8).
+     * @param initial Initial counter value.
+     */
+    explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
+        : max_((1u << bits) - 1), value_(initial)
+    {
+        panicIf(bits == 0 || bits > 8, "SatCounter bad width ", bits);
+        panicIf(initial > max_, "SatCounter initial value too large");
+    }
+
+    /** Increment, saturating at the maximum value. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** @return the current counter value. */
+    unsigned value() const { return value_; }
+
+    /** @return the saturation maximum. */
+    unsigned max() const { return max_; }
+
+    /** @return true when the counter is in its upper half. */
+    bool taken() const { return value_ > max_ / 2; }
+
+    /** Reset to a specific value. */
+    void
+    reset(unsigned v)
+    {
+        panicIf(v > max_, "SatCounter reset value too large");
+        value_ = v;
+    }
+
+  private:
+    unsigned max_;
+    unsigned value_;
+};
+
+} // namespace msim
+
+#endif // MSIM_COMMON_SAT_COUNTER_HH

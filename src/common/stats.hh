@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A small statistics package: named scalar counters and simple
+ * distributions grouped per component, with text formatting. Every
+ * timing component in the simulator registers its counters here so the
+ * benchmark harness can dump a complete machine profile.
+ */
+
+#ifndef MSIM_COMMON_STATS_HH
+#define MSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+namespace msim {
+
+/** A group of named statistics belonging to one simulator component. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Add @p delta to the named scalar counter (creating it at 0). */
+    void
+    add(const std::string &stat, std::uint64_t delta = 1)
+    {
+        scalars_[stat] += delta;
+    }
+
+    /** Set the named scalar counter to an absolute value. */
+    void
+    set(const std::string &stat, std::uint64_t value)
+    {
+        scalars_[stat] = value;
+    }
+
+    /** @return the value of a scalar counter (0 when absent). */
+    std::uint64_t
+    get(const std::string &stat) const
+    {
+        auto it = scalars_.find(stat);
+        return it == scalars_.end() ? 0 : it->second;
+    }
+
+    /** @return this group's name. */
+    const std::string &name() const { return name_; }
+
+    /** @return all scalar counters in name order. */
+    const std::map<std::string, std::uint64_t> &
+    scalars() const
+    {
+        return scalars_;
+    }
+
+    /** Reset all counters to zero. */
+    void reset() { scalars_.clear(); }
+
+    /** Render "group.stat value" lines. */
+    std::string format() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, std::uint64_t> scalars_;
+};
+
+/** A registry of stat groups owned by a processor instance. */
+class StatRegistry
+{
+  public:
+    /** Get or create the group with the given name. */
+    StatGroup &group(const std::string &name);
+
+    /** @return all groups in creation order. */
+    const std::deque<StatGroup> &groups() const { return groups_; }
+
+    /** Render every group. */
+    std::string format() const;
+
+    /** Reset every counter in every group. */
+    void reset();
+
+  private:
+    /** Deque: references returned by group() must remain stable. */
+    std::deque<StatGroup> groups_;
+};
+
+} // namespace msim
+
+#endif // MSIM_COMMON_STATS_HH

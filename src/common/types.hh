@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the msim library.
+ */
+
+#ifndef MSIM_COMMON_TYPES_HH
+#define MSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace msim {
+
+/** A byte address in the simulated 32-bit address space. */
+using Addr = std::uint32_t;
+
+/** A 32-bit machine word. */
+using Word = std::uint32_t;
+
+/** A simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** A monotonically increasing task sequence number. */
+using TaskSeq = std::uint64_t;
+
+/**
+ * A unified register index. Integer registers occupy indices 0-31 and
+ * floating point registers occupy 32-63. Index -1 means "no register".
+ */
+using RegIndex = std::int8_t;
+
+/** Number of integer architectural registers. */
+inline constexpr int kNumIntRegs = 32;
+
+/** Number of floating point architectural registers. */
+inline constexpr int kNumFpRegs = 32;
+
+/** Total number of architectural registers in the unified index space. */
+inline constexpr int kNumRegs = kNumIntRegs + kNumFpRegs;
+
+/** Sentinel for "no register operand". */
+inline constexpr RegIndex kNoReg = -1;
+
+/** Size of one instruction in the simulated address space. */
+inline constexpr Addr kInstrBytes = 4;
+
+/** An invalid/unmapped address sentinel (top of the address space). */
+inline constexpr Addr kBadAddr = 0xffffffffu;
+
+} // namespace msim
+
+#endif // MSIM_COMMON_TYPES_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Configuration of a multiscalar processor (paper section 5.1
+ * defaults): N processing units in a circular queue, a unidirectional
+ * ring (1 cycle/hop, width = issue width), 32 KB per-unit icaches,
+ * 2N interleaved 8 KB data cache banks behind a crossbar (2-cycle
+ * hit), a 256-entry-per-bank ARB, a PAs task predictor with a
+ * 64-entry return address stack, and a 1024-entry task descriptor
+ * cache, all sharing one split-transaction memory bus.
+ */
+
+#ifndef MSIM_CORE_MS_CONFIG_HH
+#define MSIM_CORE_MS_CONFIG_HH
+
+#include <string>
+
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "pu/pu_config.hh"
+
+namespace msim {
+
+/** What to do when an ARB bank fills up (paper section 2.3). */
+enum class ArbFullPolicy
+{
+    kSquash,  //!< squash the latest task to reclaim entries
+    kStall,   //!< stall everyone but the head until entries free up
+};
+
+/** Full multiscalar machine configuration. */
+struct MsConfig
+{
+    unsigned numUnits = 4;
+    PuConfig pu;
+
+    /** Ring hop latency in cycles (width always = issue width). */
+    unsigned ringHopLatency = 1;
+
+    Cache::Params icache{32 * 1024, 64, 1};
+
+    /** Data bank geometry; numBanks 0 means 2 * numUnits. */
+    unsigned numBanks = 0;
+    size_t bankSizeBytes = 8 * 1024;
+    size_t blockBytes = 64;
+    unsigned dcacheHitLatency = 2;
+
+    unsigned arbEntriesPerBank = 256;
+    ArbFullPolicy arbFullPolicy = ArbFullPolicy::kSquash;
+
+    /** Task predictor kind: "pas", "last", "static". */
+    std::string predictor = "pas";
+    unsigned rasEntries = 64;
+    unsigned descCacheEntries = 1024;
+
+    MemoryBus::Params bus;
+
+    /** @return the effective number of data banks. */
+    unsigned
+    effectiveBanks() const
+    {
+        return numBanks != 0 ? numBanks : 2 * numUnits;
+    }
+};
+
+} // namespace msim
+
+#endif // MSIM_CORE_MS_CONFIG_HH

@@ -1,0 +1,571 @@
+#include "core/multiscalar_processor.hh"
+
+#include <algorithm>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "isa/registers.hh"
+
+namespace msim {
+
+MultiscalarProcessor::MultiscalarProcessor(const Program &program,
+                                           const MsConfig &config)
+    : program_(program), config_(config)
+{
+    fatalIf(config.numUnits == 0, "need at least one processing unit");
+    mem_.loadProgram(program);
+    coreStats_ = &stats_.group("core");
+    bus_ = std::make_unique<MemoryBus>(stats_.group("bus"), config.bus);
+    for (unsigned u = 0; u < config.numUnits; ++u) {
+        icaches_.push_back(std::make_unique<Cache>(
+            stats_.group("icache" + std::to_string(u)), *bus_,
+            config.icache));
+    }
+    dcache_ = std::make_unique<BankedDataCache>(
+        stats_, *bus_,
+        BankedDataCache::Params{config.effectiveBanks(),
+                                config.bankSizeBytes, config.blockBytes,
+                                config.dcacheHitLatency});
+    arb_ = std::make_unique<Arb>(
+        stats_.group("arb"), mem_,
+        Arb::Params{config.effectiveBanks(), config.blockBytes,
+                    config.arbEntriesPerBank});
+    ring_ = std::make_unique<ForwardRing>(stats_.group("ring"),
+                                          config.numUnits,
+                                          config.pu.issueWidth,
+                                          config.ringHopLatency);
+    predictor_ = makeTaskPredictor(config.predictor);
+    ras_ = std::make_unique<ReturnStack>(config.rasEntries);
+    descCache_ = std::make_unique<DescriptorCache>(
+        stats_.group("desccache"), *bus_, config.descCacheEntries);
+    syscalls_ = std::make_unique<SyscallHandler>(
+        [this](Addr a) {
+            // Head-visible memory: committed state plus the head
+            // task's own buffered stores.
+            if (numActive_ > 0) {
+                return std::uint8_t(arb_->load(seqOf(unitAt(0)), a, 1,
+                                               /*is_head=*/true));
+            }
+            return std::uint8_t(mem_.read(a, 1));
+        },
+        program.heapStart);
+    for (unsigned u = 0; u < config.numUnits; ++u) {
+        units_.push_back(std::make_unique<ProcessingUnit>(
+            u, config.pu, *this, stats_.group("pu" + std::to_string(u))));
+    }
+    taskInfo_.resize(config.numUnits);
+}
+
+void
+MultiscalarProcessor::setInput(std::deque<std::int32_t> input)
+{
+    syscalls_->setInput(std::move(input));
+}
+
+unsigned
+MultiscalarProcessor::unitAt(unsigned position) const
+{
+    return (head_ + position) % config_.numUnits;
+}
+
+unsigned
+MultiscalarProcessor::positionOf(unsigned unit) const
+{
+    return (unit + config_.numUnits - head_) % config_.numUnits;
+}
+
+bool
+MultiscalarProcessor::unitIsHead(unsigned unit) const
+{
+    return numActive_ > 0 && unit == head_;
+}
+
+TaskSeq
+MultiscalarProcessor::seqOf(unsigned unit) const
+{
+    return taskInfo_[unit].seq;
+}
+
+// --------------------------------------------------------------------
+// PuContext implementation
+// --------------------------------------------------------------------
+
+const isa::Instruction *
+MultiscalarProcessor::instrAt(Addr pc)
+{
+    return program_.instrAt(pc);
+}
+
+Cycle
+MultiscalarProcessor::icacheAccess(unsigned unit, Cycle now, Addr pc)
+{
+    return icaches_[unit]->access(now, pc, false);
+}
+
+Cycle
+MultiscalarProcessor::dcacheAccess(unsigned unit, Cycle now, Addr addr,
+                                   bool write)
+{
+    (void)unit;
+    return dcache_->access(now, addr, write);
+}
+
+bool
+MultiscalarProcessor::memHasSpace(unsigned unit, Addr addr, unsigned size,
+                                  bool is_load)
+{
+    const bool ok = arb_->hasSpaceFor(seqOf(unit), addr, size, is_load,
+                                      unitIsHead(unit));
+    if (!ok) {
+        coreStats_->add("arbFullStalls");
+        if (config_.arbFullPolicy == ArbFullPolicy::kSquash)
+            arbFullEvent_ = true;
+    }
+    return ok;
+}
+
+std::uint64_t
+MultiscalarProcessor::memLoad(unsigned unit, Addr addr, unsigned size)
+{
+    return arb_->load(seqOf(unit), addr, size, unitIsHead(unit));
+}
+
+void
+MultiscalarProcessor::memStore(unsigned unit, Addr addr, unsigned size,
+                               std::uint64_t value)
+{
+    auto violator = arb_->store(seqOf(unit), addr, size, value,
+                                unitIsHead(unit));
+    if (violator) {
+        if (!pendingViolation_ || *violator < *pendingViolation_)
+            pendingViolation_ = *violator;
+    }
+}
+
+void
+MultiscalarProcessor::forwardReg(unsigned unit, RegIndex reg,
+                                 isa::RegValue value)
+{
+    RingMessage msg;
+    msg.reg = reg;
+    msg.value = value;
+    msg.producer = seqOf(unit);
+    ring_->send(unit, msg);
+    // Update the sequencer's walk ledger: the value the walk was
+    // waiting on from this producer is now known.
+    WalkReg &wr = walkRegs_[size_t(reg)];
+    if (wr.pending && wr.producer == msg.producer) {
+        wr.value = value;
+        wr.pending = false;
+    }
+}
+
+bool
+MultiscalarProcessor::syscallAllowed(unsigned unit)
+{
+    return unitIsHead(unit);
+}
+
+isa::RegValue
+MultiscalarProcessor::doSyscall(unsigned, isa::RegValue v0,
+                                isa::RegValue a0, isa::RegValue a1)
+{
+    return syscalls_->execute(v0, a0, a1);
+}
+
+void
+MultiscalarProcessor::taskExited(unsigned unit, Addr next_task)
+{
+    exitEvents_.push_back({unit, seqOf(unit), next_task});
+}
+
+// --------------------------------------------------------------------
+// Sequencer
+// --------------------------------------------------------------------
+
+Addr
+MultiscalarProcessor::resolveTarget(const TaskTarget &target)
+{
+    switch (target.spec) {
+      case TargetSpec::kReturn:
+        return ras_->pop();
+      case TargetSpec::kCall:
+        ras_->push(target.returnTo);
+        return target.addr;
+      default:
+        return target.addr;
+    }
+}
+
+unsigned
+MultiscalarProcessor::actualTargetIndex(const ActiveTask &task,
+                                        Addr actual) const
+{
+    int return_index = -1;
+    for (unsigned i = 0; i < task.desc->targets.size(); ++i) {
+        const TaskTarget &t = task.desc->targets[i];
+        if (t.spec == TargetSpec::kReturn) {
+            return_index = int(i);
+            continue;
+        }
+        if (t.addr == actual)
+            return i;
+    }
+    if (return_index >= 0)
+        return unsigned(return_index);
+    panic("task at 0x", std::hex, task.start,
+          " exited to undeclared successor 0x", actual, std::dec,
+          " (missing .targets entry?)");
+}
+
+void
+MultiscalarProcessor::squashFrom(TaskSeq from, const char *reason)
+{
+    while (numActive_ > 0) {
+        const unsigned tail_unit = unitAt(numActive_ - 1);
+        if (taskInfo_[tail_unit].seq < from)
+            break;
+        TaskStats ts = pu(tail_unit).flush();
+        result_.squashedInstructions += ts.instructions;
+        result_.squashedCycles += ts.cycles;
+        result_.tasksSquashed += 1;
+        arb_->squash(taskInfo_[tail_unit].seq);
+        taskInfo_[tail_unit] = ActiveTask{};
+        --numActive_;
+    }
+    coreStats_->add(std::string("squash_") + reason);
+    rebuildWalkRegs();
+    // The sequencer loses a step: any descriptor prefetch in progress
+    // is abandoned.
+    descFetchAddr_ = kBadAddr;
+}
+
+void
+MultiscalarProcessor::rebuildWalkRegs()
+{
+    for (int r = 0; r < kNumRegs; ++r)
+        walkRegs_[size_t(r)] = {archRegs_[size_t(r)], false, 0};
+    for (unsigned p = 0; p < numActive_; ++p) {
+        const unsigned unit = unitAt(p);
+        const RegMask &create = pu(unit).createMask();
+        const RegMask &fwd = pu(unit).forwardedMask();
+        for (int r = 1; r < kNumRegs; ++r) {
+            if (!create.test(r))
+                continue;
+            if (fwd.test(r)) {
+                walkRegs_[size_t(r)] = {
+                    pu(unit).forwardedValue(RegIndex(r)), false, 0};
+            } else {
+                walkRegs_[size_t(r)] = {isa::RegValue{}, true,
+                                        taskInfo_[unit].seq};
+            }
+        }
+    }
+}
+
+void
+MultiscalarProcessor::validateExit(const ExitEvent &event)
+{
+    const unsigned unit = event.unit;
+    // The task may have been squashed since the event fired.
+    if (positionOf(unit) >= numActive_)
+        return;
+    ActiveTask &task = taskInfo_[unit];
+    if (task.seq != event.seq || !pu(unit).hasExited())
+        return;
+
+    if (std::getenv("MSIM_TRACE")) {
+        std::fprintf(stderr, "exit seq=%llu unit=%u actual=0x%x pred=0x%x\n",
+                     (unsigned long long)task.seq, unit, event.actual,
+                     task.predictedNext);
+    }
+    const unsigned actual_idx = actualTargetIndex(task, event.actual);
+    predictor_->update(task.start, *task.desc, actual_idx);
+    if (task.counted) {
+        result_.taskPredictions += 1;
+        if (event.actual == task.predictedNext)
+            result_.taskPredHits += 1;
+    }
+    if (event.actual == task.predictedNext)
+        return;
+
+    // Control misprediction: squash every later task and restart the
+    // walk from the actual successor.
+    result_.controlSquashes += 1;
+    squashFrom(task.seq + 1, "control");
+    ras_->restore(task.rasCp);
+    const TaskTarget &t = task.desc->targets[actual_idx];
+    if (t.spec == TargetSpec::kCall)
+        ras_->push(t.returnTo);
+    else if (t.spec == TargetSpec::kReturn)
+        ras_->pop();  // consume the (stale) predicted entry
+    nextTaskAddr_ = event.actual;
+}
+
+void
+MultiscalarProcessor::deferredPhase(Cycle)
+{
+    // 1. Memory dependence violations (earliest wins).
+    if (pendingViolation_) {
+        const TaskSeq v = *pendingViolation_;
+        pendingViolation_.reset();
+        // Find the violated task; it restarts at its own address.
+        for (unsigned p = 0; p < numActive_; ++p) {
+            const unsigned unit = unitAt(p);
+            if (taskInfo_[unit].seq >= v) {
+                const Addr restart = taskInfo_[unit].start;
+                const auto ras_cp = taskInfo_[unit].rasCp;
+                result_.memorySquashes += 1;
+                squashFrom(taskInfo_[unit].seq, "memory");
+                ras_->restore(ras_cp);
+                nextTaskAddr_ = restart;
+                break;
+            }
+        }
+    }
+
+    // 2. Task exits in task order.
+    std::sort(exitEvents_.begin(), exitEvents_.end(),
+              [](const ExitEvent &a, const ExitEvent &b) {
+                  return a.seq < b.seq;
+              });
+    for (const ExitEvent &event : exitEvents_)
+        validateExit(event);
+    exitEvents_.clear();
+
+    // 3. ARB capacity policy.
+    if (arbFullEvent_) {
+        arbFullEvent_ = false;
+        if (config_.arbFullPolicy == ArbFullPolicy::kSquash &&
+            numActive_ > 1) {
+            const unsigned tail_unit = unitAt(numActive_ - 1);
+            const Addr restart = taskInfo_[tail_unit].start;
+            const auto ras_cp = taskInfo_[tail_unit].rasCp;
+            result_.arbFullSquashes += 1;
+            squashFrom(taskInfo_[tail_unit].seq, "arbfull");
+            ras_->restore(ras_cp);
+            nextTaskAddr_ = restart;
+        }
+    }
+}
+
+void
+MultiscalarProcessor::retirePhase(Cycle)
+{
+    if (numActive_ == 0)
+        return;
+    const unsigned head_unit = unitAt(0);
+    if (!pu(head_unit).isDone())
+        return;
+    arb_->commit(taskInfo_[head_unit].seq);
+    // Architectural register state advances by the values this task
+    // forwarded (a done task has forwarded its whole create mask).
+    for (int r = 1; r < kNumRegs; ++r) {
+        if (pu(head_unit).createMask().test(r))
+            archRegs_[size_t(r)] =
+                pu(head_unit).forwardedValue(RegIndex(r));
+    }
+    TaskStats ts = pu(head_unit).retire();
+    result_.instructions += ts.instructions;
+    result_.usefulCycles += ts.cycles;
+    result_.tasksRetired += 1;
+    taskInfo_[head_unit] = ActiveTask{};
+    head_ = (head_ + 1) % config_.numUnits;
+    --numActive_;
+}
+
+void
+MultiscalarProcessor::assignPhase(Cycle now)
+{
+    if (!nextTaskAddr_ || numActive_ >= config_.numUnits)
+        return;
+    const Addr addr = *nextTaskAddr_;
+
+    // Task descriptor availability (descriptor cache timing).
+    if (descFetchAddr_ != addr) {
+        descFetchAddr_ = addr;
+        descReadyAt_ = descCache_->access(now, addr);
+    }
+    if (now < descReadyAt_)
+        return;
+
+    const TaskDescriptor *desc = program_.taskAt(addr);
+    fatalIf(!desc, "no task descriptor at 0x",
+            std::hex, addr, std::dec,
+            " — the multiscalar walk needs one at every task entry");
+
+    const unsigned unit = unitAt(numActive_);
+    panicIf(!pu(unit).isFree(), "tail unit is not free");
+
+    // Initial register state from the sequencer's walk ledger:
+    // registers whose producing task has already forwarded them are
+    // available immediately; the rest become reservations on their
+    // specific producer, satisfied by physical ring messages.
+    RegMask busy;
+    std::array<TaskSeq, kNumRegs> producers{};
+    std::array<isa::RegValue, kNumRegs> init{};
+    for (int r = 0; r < kNumRegs; ++r) {
+        const WalkReg &wr = walkRegs_[size_t(r)];
+        init[size_t(r)] = wr.value;
+        if (r != 0 && wr.pending) {
+            busy.set(r);
+            producers[size_t(r)] = wr.producer;
+        }
+    }
+
+    // Predict this task's successor and continue the walk there.
+    ActiveTask info;
+    info.seq = nextSeq_++;
+    info.start = addr;
+    info.desc = desc;
+    info.rasCp = ras_->checkpoint();
+    if (desc->targets.empty()) {
+        // Terminal task: the walk stops here.
+        info.predictedNext = 0;
+        info.counted = false;
+        nextTaskAddr_.reset();
+    } else {
+        unsigned idx = 0;
+        if (desc->targets.size() > 1)
+            idx = predictor_->predict(addr, *desc);
+        panicIf(idx >= desc->targets.size(), "predictor returned a bad "
+                "target index");
+        info.predictedNext = resolveTarget(desc->targets[idx]);
+        info.counted = desc->targets.size() > 1;
+        if (info.predictedNext == 0) {
+            // An empty return stack leaves the walk with no target;
+            // stop until the task exits and corrects us.
+            nextTaskAddr_.reset();
+        } else {
+            nextTaskAddr_ = info.predictedNext;
+        }
+    }
+
+    if (std::getenv("MSIM_TRACE")) {
+        std::fprintf(stderr,
+                     "[%llu] assign seq=%llu unit=%u addr=0x%x "
+                     "pred=0x%x r20=0x%x r21=0x%x busy20=%d\n",
+                     (unsigned long long)now,
+                     (unsigned long long)info.seq, unit, addr,
+                     info.predictedNext, init[20].asWord(),
+                     init[21].asWord(), int(busy.test(20)));
+    }
+    pu(unit).assignTask(info.seq, addr, desc->createMask, busy,
+                        init.data(), producers.data());
+    taskInfo_[unit] = info;
+    ++numActive_;
+    descFetchAddr_ = kBadAddr;
+    coreStats_->add("assignments");
+
+    // The walk moves past this task: everything it may create is now
+    // pending on it.
+    for (int r = 1; r < kNumRegs; ++r) {
+        if (desc->createMask.test(r))
+            walkRegs_[size_t(r)] = {isa::RegValue{}, true, info.seq};
+    }
+}
+
+void
+MultiscalarProcessor::ringPhase(Cycle)
+{
+    ring_->tick([this](unsigned unit, const RingMessage &msg) {
+        ProcessingUnit &u = pu(unit);
+        u.deliverForward(msg.reg, msg.value, msg.producer);
+        // Values travel the whole ring (numUnits-1 hops). Stopping
+        // early at a unit whose create mask holds the register looks
+        // attractive, but once the task window wraps the ring, a
+        // reassigned unit may carry a *newer* task than a consumer
+        // further along the ring, and the early kill starves that
+        // consumer. Delivery is already producer-guarded, so extra
+        // hops are harmless.
+        return true;
+    });
+}
+
+void
+MultiscalarProcessor::unitsPhase(Cycle now)
+{
+    for (unsigned p = 0; p < config_.numUnits; ++p)
+        pu(unitAt(p)).tick(now);
+}
+
+RunResult
+MultiscalarProcessor::run(Cycle max_cycles)
+{
+    panicIf(started_, "MultiscalarProcessor::run may only be called once");
+    started_ = true;
+
+    fatalIf(!program_.taskAt(program_.entry),
+            "multiscalar program needs a task descriptor at the entry "
+            "point");
+    archRegs_ = {};
+    archRegs_[size_t(isa::kRegSp)] = isa::RegValue::fromWord(kStackTop);
+    rebuildWalkRegs();
+    nextTaskAddr_ = program_.entry;
+
+    Cycle now = 0;
+    std::uint64_t last_progress = 0;
+    Cycle last_progress_cycle = 0;
+    for (; now < max_cycles; ++now) {
+        ringPhase(now);
+        unitsPhase(now);
+        if (syscalls_->exited())
+            break;
+        deferredPhase(now);
+        retirePhase(now);
+        assignPhase(now);
+        result_.idleCycles += config_.numUnits - numActive_;
+
+        const std::uint64_t progress =
+            result_.instructions + result_.tasksRetired +
+            result_.squashedInstructions;
+        std::uint64_t live = 0;
+        for (unsigned u = 0; u < config_.numUnits; ++u)
+            live += units_[u]->currentTaskStats().instructions;
+        if (progress + live != last_progress) {
+            last_progress = progress + live;
+            last_progress_cycle = now;
+        }
+        if (now - last_progress_cycle > 100000) {
+            std::ostringstream os;
+            os << "multiscalar processor made no progress for 100000 "
+                  "cycles (deadlock?). State:";
+            for (unsigned p = 0; p < numActive_; ++p) {
+                const unsigned unit = unitAt(p);
+                os << "\n  unit " << unit << " seq "
+                   << taskInfo_[unit].seq << " task@0x" << std::hex
+                   << taskInfo_[unit].start << std::dec << " status "
+                   << int(pu(unit).status()) << " awaiting {"
+                   << (pu(unit).createMask() -
+                       pu(unit).forwardedMask()).toString()
+                   << "}";
+            }
+            panic(os.str());
+        }
+    }
+
+    // Fold the remaining active tasks: the head is architecturally
+    // committed work; later tasks are speculative and do not count.
+    for (unsigned p = 0; p < numActive_; ++p) {
+        const unsigned unit = unitAt(p);
+        const TaskStats &ts = pu(unit).currentTaskStats();
+        if (p == 0) {
+            result_.instructions += ts.instructions;
+            result_.usefulCycles += ts.cycles;
+            result_.tasksRetired += 1;
+        } else {
+            result_.squashedInstructions += ts.instructions;
+            result_.squashedCycles += ts.cycles;
+            result_.tasksSquashed += 1;
+        }
+    }
+
+    result_.cycles = now + 1;
+    result_.exited = syscalls_->exited();
+    result_.output = syscalls_->output();
+    return result_;
+}
+
+} // namespace msim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The outcome of one simulated program run, with everything the
+ * paper's evaluation reports: cycle count, committed dynamic
+ * instruction count (Table 2), IPC and speedup inputs (Tables 3/4),
+ * task prediction accuracy, squash counts by cause, and the
+ * distribution of processing unit cycles (section 3).
+ */
+
+#ifndef MSIM_CORE_RUN_RESULT_HH
+#define MSIM_CORE_RUN_RESULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "pu/processing_unit.hh"
+
+namespace msim {
+
+/** Aggregate results of a simulation run. */
+struct RunResult
+{
+    /** Total cycles simulated. */
+    Cycle cycles = 0;
+    /** Dynamic instructions committed (retired tasks + head). */
+    std::uint64_t instructions = 0;
+    /** Instructions executed in tasks that were later squashed. */
+    std::uint64_t squashedInstructions = 0;
+    /** True when the program ran to its exit syscall. */
+    bool exited = false;
+    /** Everything the program printed. */
+    std::string output;
+
+    /** Tasks retired / squashed. */
+    std::uint64_t tasksRetired = 0;
+    std::uint64_t tasksSquashed = 0;
+
+    /** Task-successor predictions made (multi-target tasks only). */
+    std::uint64_t taskPredictions = 0;
+    std::uint64_t taskPredHits = 0;
+
+    /** Squash events by cause. */
+    std::uint64_t controlSquashes = 0;
+    std::uint64_t memorySquashes = 0;
+    std::uint64_t arbFullSquashes = 0;
+
+    /** Cycle distribution over units (section 3). */
+    CycleBreakdown usefulCycles;    //!< cycles of retired tasks
+    CycleBreakdown squashedCycles;  //!< cycles of squashed tasks
+    std::uint64_t idleCycles = 0;   //!< unit-cycles with no task
+
+    /** @return committed instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0 : double(instructions) / double(cycles);
+    }
+
+    /** @return task prediction accuracy in [0, 1]. */
+    double
+    predAccuracy() const
+    {
+        return taskPredictions == 0
+                   ? 1.0
+                   : double(taskPredHits) / double(taskPredictions);
+    }
+};
+
+} // namespace msim
+
+#endif // MSIM_CORE_RUN_RESULT_HH

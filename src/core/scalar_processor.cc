@@ -1,0 +1,134 @@
+#include "core/scalar_processor.hh"
+
+#include "common/logging.hh"
+#include "isa/registers.hh"
+
+namespace msim {
+
+ScalarProcessor::ScalarProcessor(const Program &program,
+                                 const ScalarConfig &config)
+    : program_(program), config_(config)
+{
+    mem_.loadProgram(program);
+    bus_ = std::make_unique<MemoryBus>(stats_.group("bus"), config.bus);
+    icache_ = std::make_unique<Cache>(stats_.group("icache"), *bus_,
+                                      config.icache);
+    dcache_ = std::make_unique<Cache>(stats_.group("dcache"), *bus_,
+                                      config.dcache);
+    syscalls_ = std::make_unique<SyscallHandler>(
+        [this](Addr a) { return std::uint8_t(mem_.read(a, 1)); },
+        program.heapStart);
+    unit_ = std::make_unique<ProcessingUnit>(0, config.pu, *this,
+                                             stats_.group("pu0"));
+}
+
+void
+ScalarProcessor::setInput(std::deque<std::int32_t> input)
+{
+    syscalls_->setInput(std::move(input));
+}
+
+RunResult
+ScalarProcessor::run(Cycle max_cycles)
+{
+    panicIf(started_, "ScalarProcessor::run may only be called once");
+    started_ = true;
+
+    std::array<isa::RegValue, kNumRegs> init{};
+    init[size_t(isa::kRegSp)] = isa::RegValue::fromWord(kStackTop);
+    unit_->assignTask(0, program_.entry, RegMask(), RegMask(),
+                      init.data());
+
+    RunResult result;
+    Cycle now = 0;
+    std::uint64_t last_progress_count = 0;
+    Cycle last_progress_cycle = 0;
+    for (; now < max_cycles; ++now) {
+        unit_->tick(now);
+        if (syscalls_->exited())
+            break;
+        const std::uint64_t done = unit_->currentTaskStats().instructions;
+        if (done != last_progress_count) {
+            last_progress_count = done;
+            last_progress_cycle = now;
+        }
+        panicIf(now - last_progress_cycle > 100000,
+                "scalar processor made no progress for 100000 cycles "
+                "(pc region near 0x", std::hex,
+                program_.entry, std::dec, ")");
+    }
+
+    result.cycles = now + 1;
+    result.exited = syscalls_->exited();
+    result.instructions = unit_->currentTaskStats().instructions;
+    result.usefulCycles = unit_->currentTaskStats().cycles;
+    result.tasksRetired = 1;
+    result.output = syscalls_->output();
+    return result;
+}
+
+const isa::Instruction *
+ScalarProcessor::instrAt(Addr pc)
+{
+    return program_.instrAt(pc);
+}
+
+Cycle
+ScalarProcessor::icacheAccess(unsigned, Cycle now, Addr pc)
+{
+    return icache_->access(now, pc, false);
+}
+
+Cycle
+ScalarProcessor::dcacheAccess(unsigned, Cycle now, Addr addr, bool write)
+{
+    return dcache_->access(now, addr, write);
+}
+
+bool
+ScalarProcessor::memHasSpace(unsigned, Addr, unsigned, bool)
+{
+    return true;
+}
+
+std::uint64_t
+ScalarProcessor::memLoad(unsigned, Addr addr, unsigned size)
+{
+    return mem_.read(addr, size);
+}
+
+void
+ScalarProcessor::memStore(unsigned, Addr addr, unsigned size,
+                          std::uint64_t value)
+{
+    mem_.write(addr, value, size);
+}
+
+void
+ScalarProcessor::forwardReg(unsigned, RegIndex, isa::RegValue)
+{
+    panic("scalar execution must not forward registers "
+          "(multiscalar tags in a scalar binary?)");
+}
+
+bool
+ScalarProcessor::syscallAllowed(unsigned)
+{
+    return true;
+}
+
+isa::RegValue
+ScalarProcessor::doSyscall(unsigned, isa::RegValue v0, isa::RegValue a0,
+                           isa::RegValue a1)
+{
+    return syscalls_->execute(v0, a0, a1);
+}
+
+void
+ScalarProcessor::taskExited(unsigned, Addr)
+{
+    panic("scalar execution must not exit tasks "
+          "(multiscalar tags in a scalar binary?)");
+}
+
+} // namespace msim

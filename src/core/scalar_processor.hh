@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The scalar baseline processor of the paper's evaluation: a single
+ * processing unit identical to a multiscalar unit (same pipeline,
+ * same FU latencies), with its own 32 KB icache and a 64 KB data
+ * cache with a 1-cycle hit time (vs 2 cycles through the multiscalar
+ * crossbar), both in front of the shared memory bus. It executes the
+ * scalar binary (no multiscalar annotations).
+ */
+
+#ifndef MSIM_CORE_SCALAR_PROCESSOR_HH
+#define MSIM_CORE_SCALAR_PROCESSOR_HH
+
+#include <deque>
+#include <memory>
+
+#include "common/stats.hh"
+#include "core/run_result.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/main_memory.hh"
+#include "program/program.hh"
+#include "pu/processing_unit.hh"
+#include "pu/pu_context.hh"
+#include "sim/syscalls.hh"
+
+namespace msim {
+
+/** Scalar baseline configuration (paper section 5.1). */
+struct ScalarConfig
+{
+    PuConfig pu;
+    Cache::Params icache{32 * 1024, 64, 1};
+    Cache::Params dcache{64 * 1024, 64, 1};
+    MemoryBus::Params bus;
+};
+
+/** The scalar baseline machine. */
+class ScalarProcessor : public PuContext
+{
+  public:
+    ScalarProcessor(const Program &program, const ScalarConfig &config);
+
+    /** Provide the integer input stream for syscall 5. */
+    void setInput(std::deque<std::int32_t> input);
+
+    /** Run to the exit syscall (or @p max_cycles). */
+    RunResult run(Cycle max_cycles = 1'000'000'000);
+
+    /** @return direct access to the functional memory (test setup). */
+    MainMemory &memory() { return mem_; }
+
+    /** @return the collected statistics. */
+    const StatRegistry &stats() const { return stats_; }
+
+    // --- PuContext ---------------------------------------------------
+    const isa::Instruction *instrAt(Addr pc) override;
+    Cycle icacheAccess(unsigned unit, Cycle now, Addr pc) override;
+    Cycle dcacheAccess(unsigned unit, Cycle now, Addr addr,
+                       bool write) override;
+    bool memHasSpace(unsigned unit, Addr addr, unsigned size,
+                     bool is_load) override;
+    std::uint64_t memLoad(unsigned unit, Addr addr,
+                          unsigned size) override;
+    void memStore(unsigned unit, Addr addr, unsigned size,
+                  std::uint64_t value) override;
+    void forwardReg(unsigned unit, RegIndex reg,
+                    isa::RegValue value) override;
+    bool syscallAllowed(unsigned unit) override;
+    isa::RegValue doSyscall(unsigned unit, isa::RegValue v0,
+                            isa::RegValue a0, isa::RegValue a1) override;
+    void taskExited(unsigned unit, Addr next_task) override;
+
+  private:
+    const Program &program_;
+    ScalarConfig config_;
+    StatRegistry stats_;
+    MainMemory mem_;
+    std::unique_ptr<MemoryBus> bus_;
+    std::unique_ptr<Cache> icache_;
+    std::unique_ptr<Cache> dcache_;
+    std::unique_ptr<SyscallHandler> syscalls_;
+    std::unique_ptr<ProcessingUnit> unit_;
+    bool started_ = false;
+};
+
+} // namespace msim
+
+#endif // MSIM_CORE_SCALAR_PROCESSOR_HH

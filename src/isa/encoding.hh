@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Binary encoding of the msim ISA (classic MIPS-style layout).
+ *
+ * Layout (32 bits):
+ *   R-format: [31:26]=0, [25:21] rs, [20:16] rt, [15:11] rd,
+ *             [10:6] shamt/aux, [5:0] funct
+ *   I-format: [31:26] primary, [25:21] rs, [20:16] rt/rd, [15:0] imm16
+ *   J-format: [31:26] primary, [25:0] absolute word address
+ *
+ * Arithmetic immediates, load/store offsets and branch offsets are
+ * signed 16 bits; logical immediates (andi/ori/xori) are zero
+ * extended; branch offsets are word offsets relative to the next
+ * instruction. Tag bits are not part of the encoding; they live in a
+ * table beside the program text (paper section 2.2).
+ */
+
+#ifndef MSIM_ISA_ENCODING_HH
+#define MSIM_ISA_ENCODING_HH
+
+#include <optional>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace msim::isa {
+
+/**
+ * Encode a decoded instruction into its 32-bit binary form.
+ *
+ * @param inst The instruction to encode.
+ * @param pc The address the instruction will occupy (for branches).
+ * @return the 32-bit word.
+ *
+ * Throws FatalError when an operand does not fit its field (e.g. an
+ * immediate outside the signed 16-bit range).
+ */
+Word encode(const Instruction &inst, Addr pc);
+
+/**
+ * Decode a 32-bit word into an instruction (without tag bits).
+ *
+ * @param word The binary instruction.
+ * @param pc The address it was fetched from (for branches).
+ * @return the decoded instruction, or std::nullopt for an illegal
+ *         opcode or funct field.
+ */
+std::optional<Instruction> decode(Word word, Addr pc);
+
+/** Immediate range limits for the signed I-format immediate. */
+inline constexpr std::int32_t kMinImm16 = -(1 << 15);
+inline constexpr std::int32_t kMaxImm16 = (1 << 15) - 1;
+
+/** Unsigned immediate limit for logical immediates and lui. */
+inline constexpr std::int64_t kMaxUImm16 = 0xffff;
+
+} // namespace msim::isa
+
+#endif // MSIM_ISA_ENCODING_HH

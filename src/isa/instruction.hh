@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The decoded instruction representation used by the pipelines.
+ *
+ * The simulator executes from decoded instructions; the 32-bit binary
+ * encoding (see isa/encoding.hh) exists so programs have a real
+ * memory image, and the two forms round-trip. Tag bits (forward and
+ * stop bits, paper section 2.2) conceptually live in a table beside
+ * the program text and are concatenated with the instruction on
+ * icache fill; here they ride in the decoded form.
+ */
+
+#ifndef MSIM_ISA_INSTRUCTION_HH
+#define MSIM_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace msim::isa {
+
+/** Stop-bit conditions that demarcate the end of a task. */
+enum class StopKind : std::uint8_t {
+    kNone,        //!< not a task boundary
+    kAlways,      //!< task completes after this instruction
+    kIfTaken,     //!< task completes if this branch is taken
+    kIfNotTaken,  //!< task completes if this branch falls through
+};
+
+/** Tag bits carried beside each instruction of a multiscalar program. */
+struct TagBits
+{
+    bool forward = false;           //!< forward result on the ring
+    StopKind stop = StopKind::kNone;
+
+    bool operator==(const TagBits &) const = default;
+};
+
+/** A fully decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::kNop;
+    /** Destination register (unified index) or kNoReg. */
+    RegIndex rd = kNoReg;
+    /** First source register or kNoReg. */
+    RegIndex rs = kNoReg;
+    /** Second source register or kNoReg. */
+    RegIndex rt = kNoReg;
+    /** Immediate operand (sign-extended) or shift amount. */
+    std::int32_t imm = 0;
+    /** Absolute jump/branch target address, when applicable. */
+    Addr target = 0;
+    /** Second register released by a release instruction, or kNoReg. */
+    RegIndex rel2 = kNoReg;
+    /** Multiscalar tag bits. */
+    TagBits tags;
+
+    /** @return the instruction class of this opcode. */
+    InstClass cls() const { return opInfo(op).cls; }
+
+    /** @return true for loads and stores. */
+    bool isMemOp() const { return isMem(cls()); }
+
+    /** @return true for branches and jumps. */
+    bool isControlOp() const { return isControl(cls()); }
+
+    /** @return true for conditional branches (not jumps). */
+    bool
+    isCondBranch() const
+    {
+        auto f = opInfo(op).format;
+        return f == Format::kBr1 || f == Format::kBr2;
+    }
+
+    /** @return true for beq r,r (the "b" pseudo): always taken. */
+    bool
+    isAlwaysTaken() const
+    {
+        return op == Opcode::kBeq && rs == rt;
+    }
+
+    /** @return true for bne r,r: never taken. */
+    bool
+    isNeverTaken() const
+    {
+        return op == Opcode::kBne && rs == rt;
+    }
+
+    /** @return true for direct or indirect jumps. */
+    bool
+    isJump() const
+    {
+        return op == Opcode::kJ || op == Opcode::kJal ||
+               op == Opcode::kJr || op == Opcode::kJalr;
+    }
+
+    /** @return true when this instruction writes a register. */
+    bool writesReg() const { return rd != kNoReg; }
+
+    /** Render in assembly syntax (tags appended as !f/!s suffixes). */
+    std::string toString() const;
+};
+
+} // namespace msim::isa
+
+#endif // MSIM_ISA_INSTRUCTION_HH

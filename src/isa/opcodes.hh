@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Opcode definitions for the msim ISA.
+ *
+ * The ISA is of secondary importance to the multiscalar paradigm
+ * (paper section 2.2); this one is a clean MIPS-flavored RISC with a
+ * handful of multiscalar-specific additions (the release instruction;
+ * forward and stop tag bits live beside the instruction, see
+ * program/tag bits).
+ */
+
+#ifndef MSIM_ISA_OPCODES_HH
+#define MSIM_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace msim::isa {
+
+/** Every opcode in the ISA. The enumerator value is the binary code. */
+enum class Opcode : std::uint8_t {
+    // Integer ALU, register forms.
+    kAdd, kAddu, kSub, kSubu, kAnd, kOr, kXor, kNor,
+    kSllv, kSrlv, kSrav, kSlt, kSltu,
+    // Integer ALU, immediate forms.
+    kAddi, kAddiu, kAndi, kOri, kXori, kSlti, kSltiu, kLui,
+    // Shifts by immediate amount.
+    kSll, kSrl, kSra,
+    // Complex integer.
+    kMul, kDiv, kRem,
+    // Loads and stores.
+    kLw, kLh, kLhu, kLb, kLbu, kSw, kSh, kSb,
+    kLdc1, kSdc1, kLwc1, kSwc1,
+    // Control transfer.
+    kBeq, kBne, kBlez, kBgtz, kBltz, kBgez,
+    kJ, kJal, kJr, kJalr,
+    // Floating point.
+    kAddS, kSubS, kMulS, kDivS,
+    kAddD, kSubD, kMulD, kDivD,
+    kMovD, kNegD, kAbsD,
+    kCvtDW, kCvtWD,
+    kCLtD, kCLeD, kCEqD,
+    // Multiscalar specific.
+    kRelease,
+    // System.
+    kSyscall, kNop,
+
+    kNumOpcodes,
+};
+
+/** Operand format of an instruction. */
+enum class Format : std::uint8_t {
+    kR3,    //!< op rd, rs, rt
+    kR2,    //!< op rd, rs
+    kRI,    //!< op rd, rs, imm
+    kSh,    //!< op rd, rs, shamt
+    kLui,   //!< op rd, imm
+    kLS,    //!< op rt, imm(rs)
+    kBr2,   //!< op rs, rt, label
+    kBr1,   //!< op rs, label
+    kJ,     //!< op target
+    kJr,    //!< op rs
+    kJalr,  //!< op rd, rs
+    kRel,   //!< release r1[, r2]
+    kNone,  //!< no operands
+};
+
+/** Instruction class; selects functional unit and latency (Table 1). */
+enum class InstClass : std::uint8_t {
+    kIntAlu,    //!< simple integer FU, 1 cycle
+    kIntMult,   //!< complex integer FU, 4 cycles
+    kIntDiv,    //!< complex integer FU, 12 cycles
+    kLoad,      //!< memory FU; latency from the cache model
+    kStore,     //!< memory FU, 1 cycle address generation
+    kBranch,    //!< branch FU, 1 cycle
+    kFpAddSP,   //!< FP FU, 2 cycles
+    kFpMulSP,   //!< FP FU, 4 cycles
+    kFpDivSP,   //!< FP FU, 12 cycles
+    kFpAddDP,   //!< FP FU, 2 cycles
+    kFpMulDP,   //!< FP FU, 5 cycles
+    kFpDivDP,   //!< FP FU, 18 cycles
+    kFpMove,    //!< FP FU, 1 cycle (moves, compares)
+    kRelease,   //!< simple integer FU, 1 cycle
+    kSyscall,   //!< executes at the head unit only
+    kNop,
+};
+
+/** The functional units inside a processing unit (paper section 5.1). */
+enum class FuKind : std::uint8_t {
+    kSimpleInt,
+    kComplexInt,
+    kFp,
+    kBranch,
+    kMem,
+    kNumFuKinds,
+};
+
+/** Static description of one opcode. */
+struct OpInfo
+{
+    const char *mnemonic;
+    Format format;
+    InstClass cls;
+};
+
+/** @return the static description of @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** @return the opcode for a mnemonic, if it names a real instruction. */
+std::optional<Opcode> parseMnemonic(std::string_view mnemonic);
+
+/** @return the functional unit an instruction class executes on. */
+FuKind fuKind(InstClass cls);
+
+/**
+ * @return the execution latency in cycles of an instruction class,
+ * per Table 1 of the paper. Loads return the 1-cycle address
+ * generation component; the memory access itself is timed by the
+ * cache hierarchy.
+ */
+unsigned execLatency(InstClass cls);
+
+/** @return true for conditional branches and jumps. */
+bool isControl(InstClass cls);
+
+/** @return true for loads and stores. */
+bool isMem(InstClass cls);
+
+} // namespace msim::isa
+
+#endif // MSIM_ISA_OPCODES_HH

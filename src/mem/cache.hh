@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A direct-mapped, write-back, write-allocate cache timing model.
+ *
+ * Used both as the 32 KB per-unit instruction cache and as the 8 KB
+ * data cache banks (paper section 5.1). The cache holds no data; it
+ * tracks tags and returns ready cycles. Misses fetch a full block
+ * over the shared MemoryBus (10+3 cycles for 64-byte blocks, plus any
+ * bus contention); dirty victims write back first. Accesses are
+ * non-blocking: a miss does not prevent later accesses from being
+ * timed (the pipelines enforce their own ordering).
+ */
+
+#ifndef MSIM_MEM_CACHE_HH
+#define MSIM_MEM_CACHE_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/bus.hh"
+
+namespace msim {
+
+/** Direct-mapped cache timing model. */
+class Cache
+{
+  public:
+    struct Params
+    {
+        size_t sizeBytes = 32 * 1024;
+        size_t blockBytes = 64;
+        unsigned hitLatency = 1;
+    };
+
+    Cache(StatGroup &stats, MemoryBus &bus, const Params &params)
+        : stats_(stats), bus_(bus), params_(params)
+    {
+        fatalIf(params.sizeBytes == 0 || params.blockBytes == 0 ||
+                    params.sizeBytes % params.blockBytes != 0,
+                "bad cache geometry");
+        numBlocks_ = params.sizeBytes / params.blockBytes;
+        fatalIf((numBlocks_ & (numBlocks_ - 1)) != 0 ||
+                    (params.blockBytes & (params.blockBytes - 1)) != 0,
+                "cache geometry must be a power of two");
+        lines_.resize(numBlocks_);
+    }
+
+    /**
+     * Access the cache.
+     *
+     * @param now Cycle the access starts.
+     * @param addr Byte address.
+     * @param write True for stores (marks the line dirty).
+     * @return the cycle the data is ready (hit: now + hitLatency).
+     */
+    Cycle
+    access(Cycle now, Addr addr, bool write)
+    {
+        const Addr block = addr / Addr(params_.blockBytes);
+        const size_t index = size_t(block) & (numBlocks_ - 1);
+        Line &line = lines_[index];
+
+        if (line.valid && line.tag == block) {
+            stats_.add(write ? "writeHits" : "readHits");
+            if (write)
+                line.dirty = true;
+            return now + params_.hitLatency;
+        }
+
+        stats_.add(write ? "writeMisses" : "readMisses");
+        const unsigned block_words = unsigned(params_.blockBytes / 4);
+        Cycle start = now;
+        if (line.valid && line.dirty) {
+            stats_.add("writebacks");
+            start = bus_.request(now, block_words);
+        }
+        Cycle ready = bus_.request(start, block_words) +
+                      params_.hitLatency;
+        line.valid = true;
+        line.dirty = write;
+        line.tag = block;
+        return ready;
+    }
+
+    /** @return true when @p addr currently hits. */
+    bool
+    probe(Addr addr) const
+    {
+        const Addr block = addr / Addr(params_.blockBytes);
+        const Line &line = lines_[size_t(block) & (numBlocks_ - 1)];
+        return line.valid && line.tag == block;
+    }
+
+    /** Invalidate all lines (drops dirty data; timing model only). */
+    void
+    invalidateAll()
+    {
+        for (auto &line : lines_)
+            line = Line{};
+    }
+
+    unsigned hitLatency() const { return params_.hitLatency; }
+    size_t blockBytes() const { return params_.blockBytes; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+    };
+
+    StatGroup &stats_;
+    MemoryBus &bus_;
+    Params params_;
+    size_t numBlocks_ = 0;
+    std::vector<Line> lines_;
+};
+
+} // namespace msim
+
+#endif // MSIM_MEM_CACHE_HH

@@ -1,0 +1,97 @@
+#include "mem/main_memory.hh"
+
+#include "common/logging.hh"
+#include "program/program.hh"
+
+namespace msim {
+
+MainMemory::Page &
+MainMemory::pageFor(Addr addr)
+{
+    Addr key = addr >> kPageShift;
+    auto &slot = pages_[key];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+const MainMemory::Page *
+MainMemory::pageIfPresent(Addr addr) const
+{
+    auto it = pages_.find(addr >> kPageShift);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t
+MainMemory::readByte(Addr addr) const
+{
+    const Page *page = pageIfPresent(addr);
+    return page ? (*page)[addr & (kPageBytes - 1)] : 0;
+}
+
+void
+MainMemory::writeByte(Addr addr, std::uint8_t value)
+{
+    pageFor(addr)[addr & (kPageBytes - 1)] = value;
+}
+
+std::uint64_t
+MainMemory::read(Addr addr, unsigned size) const
+{
+    panicIf(size == 0 || size > 8, "MainMemory::read bad size ", size);
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i)
+        value |= std::uint64_t(readByte(addr + i)) << (8 * i);
+    return value;
+}
+
+void
+MainMemory::write(Addr addr, std::uint64_t value, unsigned size)
+{
+    panicIf(size == 0 || size > 8, "MainMemory::write bad size ", size);
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(addr + i, std::uint8_t((value >> (8 * i)) & 0xff));
+}
+
+void
+MainMemory::writeBytes(Addr addr, const std::uint8_t *data, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        writeByte(addr + Addr(i), data[i]);
+}
+
+void
+MainMemory::readBytes(Addr addr, std::uint8_t *data, size_t n) const
+{
+    for (size_t i = 0; i < n; ++i)
+        data[i] = readByte(addr + Addr(i));
+}
+
+std::string
+MainMemory::readString(Addr addr) const
+{
+    std::string s;
+    for (size_t i = 0; i < 65536; ++i) {
+        char c = char(readByte(addr + Addr(i)));
+        if (c == '\0')
+            break;
+        s.push_back(c);
+    }
+    return s;
+}
+
+void
+MainMemory::loadProgram(const Program &prog)
+{
+    if (!prog.textBytes.empty())
+        writeBytes(prog.textBase, prog.textBytes.data(),
+                   prog.textBytes.size());
+    for (const DataSegment &seg : prog.data) {
+        if (!seg.bytes.empty())
+            writeBytes(seg.base, seg.bytes.data(), seg.bytes.size());
+    }
+}
+
+} // namespace msim

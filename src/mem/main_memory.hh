@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Functional backing store: a sparse, paged, little-endian memory.
+ *
+ * Timing is modeled separately (MemoryBus, Cache); MainMemory only
+ * holds values. Reads of never-written locations return zero, which
+ * gives deterministic runs.
+ */
+
+#ifndef MSIM_MEM_MAIN_MEMORY_HH
+#define MSIM_MEM_MAIN_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace msim {
+
+class Program;
+
+/** Sparse functional memory. */
+class MainMemory
+{
+  public:
+    /** Read @p size bytes (1-8) starting at @p addr, little endian. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write the low @p size bytes (1-8) of @p value at @p addr. */
+    void write(Addr addr, std::uint64_t value, unsigned size);
+
+    /** Bulk copy into memory. */
+    void writeBytes(Addr addr, const std::uint8_t *data, size_t n);
+
+    /** Bulk copy out of memory. */
+    void readBytes(Addr addr, std::uint8_t *data, size_t n) const;
+
+    /** Read a NUL-terminated string (bounded at 64 KiB). */
+    std::string readString(Addr addr) const;
+
+    /** Load a program image (text bytes + data segments). */
+    void loadProgram(const Program &prog);
+
+  private:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr size_t kPageBytes = size_t(1) << kPageShift;
+
+    using Page = std::array<std::uint8_t, kPageBytes>;
+
+    std::uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, std::uint8_t value);
+
+    Page &pageFor(Addr addr);
+    const Page *pageIfPresent(Addr addr) const;
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace msim
+
+#endif // MSIM_MEM_MAIN_MEMORY_HH

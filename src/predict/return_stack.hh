@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The sequencer's return address stack (64 entries in the paper's
+ * configuration).
+ *
+ * When the sequencer follows a task target with spec kCall, it pushes
+ * the continuation address; when it follows a kReturn target, it pops
+ * the predicted continuation. Because task assignment is speculative,
+ * the stack supports checkpointing: the sequencer snapshots the top
+ * pointer when assigning a task and restores it when the task is
+ * squashed (the usual RAS recovery scheme; entries overwritten by
+ * wrong-path pushes may still be lost, as in real hardware).
+ */
+
+#ifndef MSIM_PREDICT_RETURN_STACK_HH
+#define MSIM_PREDICT_RETURN_STACK_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace msim {
+
+/** Circular return address stack with checkpointable top pointer. */
+class ReturnStack
+{
+  public:
+    explicit ReturnStack(unsigned entries = 64)
+        : slots_(entries, 0)
+    {
+        fatalIf(entries == 0, "return stack needs entries");
+    }
+
+    /** Push a continuation address. */
+    void
+    push(Addr addr)
+    {
+        top_ = (top_ + 1) % slots_.size();
+        slots_[top_] = addr;
+        if (depth_ < slots_.size())
+            ++depth_;
+    }
+
+    /** Pop the predicted return address (0 when empty). */
+    Addr
+    pop()
+    {
+        if (depth_ == 0)
+            return 0;
+        Addr addr = slots_[top_];
+        top_ = (top_ + slots_.size() - 1) % slots_.size();
+        --depth_;
+        return addr;
+    }
+
+    /** Capture the current position for later recovery. */
+    struct Checkpoint
+    {
+        size_t top = 0;
+        size_t depth = 0;
+    };
+
+    Checkpoint
+    checkpoint() const
+    {
+        return {top_, depth_};
+    }
+
+    /** Restore a previously captured position. */
+    void
+    restore(const Checkpoint &cp)
+    {
+        top_ = cp.top;
+        depth_ = cp.depth;
+    }
+
+    size_t depth() const { return depth_; }
+
+    void
+    clear()
+    {
+        top_ = 0;
+        depth_ = 0;
+    }
+
+  private:
+    std::vector<Addr> slots_;
+    size_t top_ = 0;
+    size_t depth_ = 0;
+};
+
+} // namespace msim
+
+#endif // MSIM_PREDICT_RETURN_STACK_HH

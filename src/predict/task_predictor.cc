@@ -1,0 +1,75 @@
+#include "predict/task_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace msim {
+
+PAsTaskPredictor::PAsTaskPredictor(const Params &params)
+    : params_(params)
+{
+    fatalIf(params.historyEntries == 0 || params.patternEntries == 0,
+            "PAs predictor needs non-empty tables");
+    fatalIf(params.historyOutcomes == 0 || params.historyOutcomes > 8,
+            "PAs history depth must be 1-8");
+    const unsigned bits = 2 * params.historyOutcomes;
+    historyMask_ = std::uint16_t((1u << bits) - 1);
+    histories_.assign(params.historyEntries, 0);
+    patterns_.assign(params.patternEntries, PatternEntry{});
+}
+
+size_t
+PAsTaskPredictor::historyIndex(Addr addr) const
+{
+    return size_t(addr / kInstrBytes) % params_.historyEntries;
+}
+
+size_t
+PAsTaskPredictor::patternIndex(std::uint16_t history) const
+{
+    return size_t(history) % params_.patternEntries;
+}
+
+unsigned
+PAsTaskPredictor::predict(Addr task_addr, const TaskDescriptor &desc)
+{
+    const std::uint16_t history = histories_[historyIndex(task_addr)];
+    const PatternEntry &entry = patterns_[patternIndex(history)];
+    if (entry.target < desc.targets.size())
+        return entry.target;
+    return 0;
+}
+
+void
+PAsTaskPredictor::update(Addr task_addr, const TaskDescriptor &desc,
+                         unsigned actual_index)
+{
+    panicIf(actual_index >= desc.targets.size(),
+            "PAs update with bad target index");
+    std::uint16_t &history = histories_[historyIndex(task_addr)];
+    PatternEntry &entry = patterns_[patternIndex(history)];
+    if (entry.target == actual_index) {
+        entry.hysteresis = true;
+    } else if (entry.hysteresis) {
+        entry.hysteresis = false;
+    } else {
+        entry.target = std::uint8_t(actual_index & 0x3);
+        entry.hysteresis = false;
+    }
+    // Shift the 2-bit outcome into the per-task history register.
+    history = std::uint16_t(((history << 2) | (actual_index & 0x3)) &
+                            historyMask_);
+}
+
+std::unique_ptr<TaskPredictor>
+makeTaskPredictor(const std::string &kind)
+{
+    if (kind == "pas")
+        return std::make_unique<PAsTaskPredictor>();
+    if (kind == "last")
+        return std::make_unique<LastTargetPredictor>();
+    if (kind == "static")
+        return std::make_unique<StaticTaskPredictor>();
+    fatal("unknown task predictor '", kind, "'");
+}
+
+} // namespace msim

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Control flow prediction for the task sequencer (paper section 5.1).
+ *
+ * The sequencer does not predict individual branches; it predicts
+ * which of a task's (up to four) successor targets the program will
+ * take — this is the key to speculating across hundreds of branches
+ * (section 4.1). The paper's configuration is a PAs two-level
+ * predictor [Yeh & Patt]: a 64-entry first-level table of 12-bit
+ * per-task histories (6 outcomes x 2-bit target numbers) indexing
+ * 4096-entry second-level pattern tables of 3-bit entries (a 2-bit
+ * target number plus a hysteresis bit), supplemented by a 64-entry
+ * return address stack (managed by the sequencer).
+ *
+ * Simpler predictors (static target-0, last-target) are provided for
+ * the predictor ablation benchmark.
+ */
+
+#ifndef MSIM_PREDICT_TASK_PREDICTOR_HH
+#define MSIM_PREDICT_TASK_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "program/task_descriptor.hh"
+
+namespace msim {
+
+/** Abstract task-successor predictor. */
+class TaskPredictor
+{
+  public:
+    virtual ~TaskPredictor() = default;
+
+    /**
+     * Predict which target of @p desc the task at @p task_addr will
+     * exit to.
+     *
+     * @return a target index in [0, desc.targets.size()).
+     */
+    virtual unsigned predict(Addr task_addr,
+                             const TaskDescriptor &desc) = 0;
+
+    /** Train with the actual outcome. */
+    virtual void update(Addr task_addr, const TaskDescriptor &desc,
+                        unsigned actual_index) = 0;
+
+    /** @return a short name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Always predicts target 0 (the compiler's preferred successor). */
+class StaticTaskPredictor : public TaskPredictor
+{
+  public:
+    unsigned
+    predict(Addr, const TaskDescriptor &) override
+    {
+        return 0;
+    }
+
+    void update(Addr, const TaskDescriptor &, unsigned) override {}
+
+    std::string name() const override { return "static"; }
+};
+
+/** Predicts the most recent outcome of each task (1-entry history). */
+class LastTargetPredictor : public TaskPredictor
+{
+  public:
+    explicit LastTargetPredictor(unsigned table_size = 1024)
+        : table_(table_size, 0)
+    {
+    }
+
+    unsigned
+    predict(Addr task_addr, const TaskDescriptor &desc) override
+    {
+        unsigned t = table_[index(task_addr)];
+        return t < desc.targets.size() ? t : 0;
+    }
+
+    void
+    update(Addr task_addr, const TaskDescriptor &,
+           unsigned actual_index) override
+    {
+        table_[index(task_addr)] = std::uint8_t(actual_index);
+    }
+
+    std::string name() const override { return "last-target"; }
+
+  private:
+    size_t
+    index(Addr addr) const
+    {
+        return (addr / kInstrBytes) % table_.size();
+    }
+
+    std::vector<std::uint8_t> table_;
+};
+
+/** The paper's PAs two-level predictor. */
+class PAsTaskPredictor : public TaskPredictor
+{
+  public:
+    struct Params
+    {
+        unsigned historyEntries = 64;    //!< first-level table entries
+        unsigned historyOutcomes = 6;    //!< outcomes per history
+        unsigned patternEntries = 4096;  //!< second-level entries
+    };
+
+    PAsTaskPredictor() : PAsTaskPredictor(Params{}) {}
+    explicit PAsTaskPredictor(const Params &params);
+
+    unsigned predict(Addr task_addr, const TaskDescriptor &desc) override;
+    void update(Addr task_addr, const TaskDescriptor &desc,
+                unsigned actual_index) override;
+    std::string name() const override { return "PAs"; }
+
+  private:
+    /** 3-bit pattern table entry. */
+    struct PatternEntry
+    {
+        std::uint8_t target = 0;    //!< 2-bit predicted target number
+        bool hysteresis = false;    //!< resists one mispredict
+    };
+
+    size_t historyIndex(Addr addr) const;
+    size_t patternIndex(std::uint16_t history) const;
+
+    Params params_;
+    std::uint16_t historyMask_;
+    std::vector<std::uint16_t> histories_;
+    std::vector<PatternEntry> patterns_;
+};
+
+/** Factory by name: "pas", "last", "static". */
+std::unique_ptr<TaskPredictor> makeTaskPredictor(const std::string &kind);
+
+} // namespace msim
+
+#endif // MSIM_PREDICT_TASK_PREDICTOR_HH

@@ -1,0 +1,47 @@
+#include "program/task_descriptor.hh"
+
+#include <sstream>
+
+namespace msim {
+
+namespace {
+
+const char *
+specName(TargetSpec spec)
+{
+    switch (spec) {
+      case TargetSpec::kNormal:
+        return "normal";
+      case TargetSpec::kLoop:
+        return "loop";
+      case TargetSpec::kCall:
+        return "call";
+      case TargetSpec::kReturn:
+        return "ret";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+TaskDescriptor::toString() const
+{
+    std::ostringstream os;
+    os << "task@0x" << std::hex << start << std::dec
+       << " create={" << createMask.toString() << "} targets=[";
+    bool first = true;
+    for (const auto &t : targets) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "0x" << std::hex << t.addr << std::dec
+           << ":" << specName(t.spec);
+        if (t.spec == TargetSpec::kCall)
+            os << ":ret=0x" << std::hex << t.returnTo << std::dec;
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace msim

@@ -1,0 +1,378 @@
+#include "program/task_graph.hh"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "isa/instruction.hh"
+#include "isa/registers.hh"
+
+namespace msim {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::StopKind;
+
+/** Exploration state: a pc plus a bounded static call stack. */
+struct WalkState
+{
+    Addr pc;
+    std::vector<Addr> retStack;
+
+    bool
+    operator<(const WalkState &o) const
+    {
+        if (pc != o.pc)
+            return pc < o.pc;
+        return retStack < o.retStack;
+    }
+};
+
+constexpr size_t kMaxStates = 20000;
+constexpr size_t kMaxCallDepth = 16;
+
+} // namespace
+
+TaskGraph::TaskGraph(const Program &prog) : prog_(prog)
+{
+    for (const auto &[name, addr] : prog.symbols) {
+        // Prefer the first symbol alphabetically per address.
+        if (!names_.count(addr))
+            names_[addr] = name;
+    }
+    for (const auto &[addr, desc] : prog.tasks) {
+        Node node;
+        node.start = addr;
+        node.desc = &desc;
+        nodes_.push_back(node);
+    }
+    std::sort(nodes_.begin(), nodes_.end(),
+              [](const Node &a, const Node &b) {
+                  return a.start < b.start;
+              });
+    for (Node &node : nodes_)
+        walkTask(node);
+}
+
+void
+TaskGraph::walkTask(Node &node)
+{
+    std::set<WalkState> visited;
+    std::set<Addr> counted;
+    std::set<Addr> exits;
+    std::deque<WalkState> work;
+    work.push_back({node.start, {}});
+
+    auto add_exit = [&](Addr a) { exits.insert(a); };
+
+    while (!work.empty() && visited.size() < kMaxStates) {
+        WalkState st = work.front();
+        work.pop_front();
+        if (!visited.insert(st).second)
+            continue;
+        const Instruction *inst = prog_.instrAt(st.pc);
+        if (!inst)
+            continue;  // ran off the text on some path; runtime guards
+        counted.insert(st.pc);
+
+        const StopKind stop = inst->tags.stop;
+        const Addr fallthrough = st.pc + kInstrBytes;
+
+        if (inst->isCondBranch()) {
+            // The "b" pseudo (beq r,r) and its bne r,r dual have only
+            // one real path.
+            if (inst->isAlwaysTaken() || inst->isNeverTaken()) {
+                const Addr next = inst->isAlwaysTaken()
+                                      ? inst->target
+                                      : fallthrough;
+                const bool exits =
+                    stop == StopKind::kAlways ||
+                    (stop == StopKind::kIfTaken &&
+                     inst->isAlwaysTaken()) ||
+                    (stop == StopKind::kIfNotTaken &&
+                     inst->isNeverTaken());
+                if (exits) {
+                    node.stopReachable = true;
+                    add_exit(next);
+                } else {
+                    work.push_back({next, st.retStack});
+                }
+                continue;
+            }
+            switch (stop) {
+              case StopKind::kAlways:
+                node.stopReachable = true;
+                add_exit(inst->target);
+                add_exit(fallthrough);
+                continue;
+              case StopKind::kIfTaken:
+                node.stopReachable = true;
+                add_exit(inst->target);
+                work.push_back({fallthrough, st.retStack});
+                continue;
+              case StopKind::kIfNotTaken:
+                node.stopReachable = true;
+                add_exit(fallthrough);
+                work.push_back({inst->target, st.retStack});
+                continue;
+              case StopKind::kNone:
+                work.push_back({inst->target, st.retStack});
+                work.push_back({fallthrough, st.retStack});
+                continue;
+            }
+        }
+        if (inst->op == Opcode::kJ) {
+            if (stop == StopKind::kAlways) {
+                node.stopReachable = true;
+                add_exit(inst->target);
+            } else {
+                work.push_back({inst->target, st.retStack});
+            }
+            continue;
+        }
+        if (inst->op == Opcode::kJal || inst->op == Opcode::kJalr) {
+            if (stop == StopKind::kAlways) {
+                node.stopReachable = true;
+                if (inst->op == Opcode::kJal)
+                    add_exit(inst->target);
+                else
+                    node.dynamicExit = true;
+                continue;
+            }
+            if (inst->op == Opcode::kJalr) {
+                // Indirect call with no stop: cannot follow.
+                node.dynamicExit = true;
+                continue;
+            }
+            if (st.retStack.size() < kMaxCallDepth) {
+                WalkState callee{inst->target, st.retStack};
+                callee.retStack.push_back(fallthrough);
+                work.push_back(std::move(callee));
+            }
+            continue;
+        }
+        if (inst->op == Opcode::kJr) {
+            if (stop == StopKind::kAlways) {
+                node.stopReachable = true;
+                node.dynamicExit = true;
+                continue;
+            }
+            if (!st.retStack.empty()) {
+                WalkState ret{st.retStack.back(), st.retStack};
+                ret.retStack.pop_back();
+                work.push_back(std::move(ret));
+            } else {
+                // A return with no statically known caller.
+                node.dynamicExit = true;
+            }
+            continue;
+        }
+        // Straight-line instruction.
+        if (stop == StopKind::kAlways) {
+            node.stopReachable = true;
+            add_exit(fallthrough);
+            continue;
+        }
+        work.push_back({fallthrough, st.retStack});
+    }
+
+    node.staticExits.assign(exits.begin(), exits.end());
+    node.reachableInstructions = unsigned(counted.size());
+}
+
+std::vector<TaskGraphIssue>
+TaskGraph::validate() const
+{
+    std::vector<TaskGraphIssue> issues;
+    using Kind = TaskGraphIssue::Kind;
+
+    auto hex = [](Addr a) {
+        std::ostringstream os;
+        os << "0x" << std::hex << a;
+        return os.str();
+    };
+
+    if (!prog_.taskAt(prog_.entry)) {
+        issues.push_back({Kind::kNoEntryDescriptor, 0, prog_.entry,
+                          "entry point " + hex(prog_.entry) +
+                              " has no task descriptor"});
+    }
+
+    for (const Node &node : nodes_) {
+        const std::string name = labelFor(node.start);
+        bool has_ret_target = false;
+        std::set<Addr> declared;
+        for (const TaskTarget &t : node.desc->targets) {
+            if (t.spec == TargetSpec::kReturn) {
+                has_ret_target = true;
+                continue;
+            }
+            declared.insert(t.addr);
+            if (!prog_.taskAt(t.addr)) {
+                issues.push_back(
+                    {Kind::kMissingDescriptor, node.start, t.addr,
+                     "task " + name + " declares target " +
+                         labelFor(t.addr) +
+                         " which has no task descriptor"});
+            }
+            if (t.spec == TargetSpec::kCall &&
+                !prog_.taskAt(t.returnTo)) {
+                issues.push_back(
+                    {Kind::kMissingDescriptor, node.start, t.returnTo,
+                     "task " + name + " declares continuation " +
+                         labelFor(t.returnTo) +
+                         " which has no task descriptor"});
+            }
+        }
+
+        for (Addr exit : node.staticExits) {
+            if (!declared.count(exit) && !has_ret_target) {
+                issues.push_back(
+                    {Kind::kUndeclaredExit, node.start, exit,
+                     "task " + name + " can exit to " +
+                         labelFor(exit) +
+                         " which is not a declared target"});
+            }
+        }
+        if (node.dynamicExit && !has_ret_target &&
+            !node.desc->targets.empty()) {
+            issues.push_back(
+                {Kind::kMissingReturnSpec, node.start, 0,
+                 "task " + name + " has a dynamic (jr) exit but no "
+                 "'ret' target"});
+        }
+        if (!node.desc->targets.empty() && !node.stopReachable &&
+            !node.dynamicExit) {
+            issues.push_back(
+                {Kind::kNoStopReachable, node.start, 0,
+                 "task " + name +
+                     " declares successors but no stop condition is "
+                     "statically reachable"});
+        }
+    }
+
+    // Forward/release mask checks need instruction->task ownership;
+    // do one more pass per task using the same walker.
+    for (const Node &node : nodes_) {
+        const std::string name = labelFor(node.start);
+        // Walk the task region again (pc-only, which over-approximates
+        // reachability and so only strengthens the check), validating
+        // tag bits against the create mask.
+        std::set<Addr> seen;
+        std::deque<Addr> work;
+        work.push_back(node.start);
+        // A simplified pc-only walk is enough for tag checking: it
+        // over-approximates reachability, which only makes the check
+        // stricter within the task's own code region.
+        size_t guard = 0;
+        while (!work.empty() && ++guard < kMaxStates) {
+            const Addr pc = work.front();
+            work.pop_front();
+            if (!seen.insert(pc).second)
+                continue;
+            const Instruction *inst = prog_.instrAt(pc);
+            if (!inst)
+                continue;
+            if (inst->tags.forward && inst->rd > 0 &&
+                !node.desc->createMask.test(inst->rd)) {
+                issues.push_back(
+                    {TaskGraphIssue::Kind::kForwardOutsideMask,
+                     node.start, pc,
+                     "task " + name + " forwards " +
+                         isa::regName(inst->rd) + " at " +
+                         labelFor(pc) +
+                         " outside its create mask"});
+            }
+            if (inst->cls() == isa::InstClass::kRelease) {
+                for (RegIndex r : {inst->rs, inst->rel2}) {
+                    if (r > 0 && !node.desc->createMask.test(r)) {
+                        issues.push_back(
+                            {TaskGraphIssue::Kind::kReleaseOutsideMask,
+                             node.start, pc,
+                             "task " + name + " releases " +
+                                 isa::regName(r) + " at " +
+                                 labelFor(pc) +
+                                 " outside its create mask"});
+                    }
+                }
+            }
+            // Stop conditions end the task's code region.
+            const StopKind stop = inst->tags.stop;
+            if (stop == StopKind::kAlways)
+                continue;
+            if (inst->isCondBranch()) {
+                if (!inst->isNeverTaken() &&
+                    stop != StopKind::kIfTaken)
+                    work.push_back(inst->target);
+                if (!inst->isAlwaysTaken() &&
+                    stop != StopKind::kIfNotTaken)
+                    work.push_back(pc + kInstrBytes);
+                continue;
+            }
+            if (inst->isJump()) {
+                if (inst->op == Opcode::kJ ||
+                    inst->op == Opcode::kJal)
+                    work.push_back(inst->target);
+                if (inst->op == Opcode::kJal)
+                    work.push_back(pc + kInstrBytes);
+                continue;
+            }
+            work.push_back(pc + kInstrBytes);
+        }
+    }
+    return issues;
+}
+
+std::string
+TaskGraph::labelFor(Addr addr) const
+{
+    auto it = names_.find(addr);
+    if (it != names_.end())
+        return it->second;
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+std::string
+TaskGraph::toDot() const
+{
+    std::ostringstream os;
+    os << "digraph tasks {\n";
+    os << "  node [shape=box, fontname=\"monospace\"];\n";
+    for (const Node &node : nodes_) {
+        os << "  \"" << labelFor(node.start) << "\" [label=\""
+           << labelFor(node.start) << "\\ncreate {"
+           << node.desc->createMask.toString() << "}\\n"
+           << node.reachableInstructions << " static instrs\"];\n";
+        for (const TaskTarget &t : node.desc->targets) {
+            if (t.spec == TargetSpec::kReturn) {
+                os << "  \"" << labelFor(node.start)
+                   << "\" -> \"(return)\" [style=dashed];\n";
+                continue;
+            }
+            os << "  \"" << labelFor(node.start) << "\" -> \""
+               << labelFor(t.addr) << "\"";
+            switch (t.spec) {
+              case TargetSpec::kLoop:
+                os << " [color=blue, label=loop]";
+                break;
+              case TargetSpec::kCall:
+                os << " [color=darkgreen, label=\"call ret="
+                   << labelFor(t.returnTo) << "\"]";
+                break;
+              default:
+                break;
+            }
+            os << ";\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace msim

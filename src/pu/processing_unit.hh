@@ -1,0 +1,266 @@
+/**
+ * @file
+ * One multiscalar processing unit (paper Figure 1): a five-stage
+ * pipeline that independently fetches and executes the instructions
+ * of its assigned task until it encounters an instruction whose stop
+ * condition is satisfied.
+ *
+ * The unit owns a private copy of the register file. Reservations
+ * (from the accum mask, the union of active predecessors' pending
+ * create masks) mark registers whose values will arrive over the
+ * unidirectional ring; instructions that need them wait. Values the
+ * task produces are sent to successors when an instruction tagged
+ * with the forward bit writes them, when a release instruction
+ * releases them, or — for any register in the create mask not yet
+ * sent — automatically when the task completes.
+ *
+ * Issue models:
+ *  - in-order: instructions issue from the window head in program
+ *    order, stalling on the first non-ready instruction;
+ *  - out-of-order: a scoreboarded window issues any ready
+ *    instruction oldest-first, with WAW/WAR stalls, in-order issue
+ *    among memory operations, and no issue past an unresolved
+ *    branch or syscall (so no register state ever needs rollback).
+ * Both complete out of order (paper section 5.1).
+ *
+ * Intra-task branches resolve one cycle after issue. Fetch follows a
+ * static policy (stop-bit aware: backward taken / forward not-taken,
+ * !st not-taken, !sn taken) or an optional bimodal predictor; either
+ * way mispredicted fetch directions only cost flushed fetches, never
+ * executed instructions.
+ */
+
+#ifndef MSIM_PU_PROCESSING_UNIT_HH
+#define MSIM_PU_PROCESSING_UNIT_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/reg_mask.hh"
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/exec.hh"
+#include "isa/instruction.hh"
+#include "pu/pu_config.hh"
+#include "pu/pu_context.hh"
+
+namespace msim {
+
+/** Where a unit's cycles go (paper section 3 accounting). */
+struct CycleBreakdown
+{
+    std::uint64_t busy = 0;        //!< issued at least one instruction
+    std::uint64_t waitPred = 0;    //!< stalled on a predecessor value
+    std::uint64_t waitIntra = 0;   //!< stalled on intra-task latency
+    std::uint64_t fetchStall = 0;  //!< window empty (icache, redirect)
+    std::uint64_t waitRetire = 0;  //!< task done, waiting to retire
+
+    std::uint64_t
+    total() const
+    {
+        return busy + waitPred + waitIntra + fetchStall + waitRetire;
+    }
+
+    CycleBreakdown &
+    operator+=(const CycleBreakdown &o)
+    {
+        busy += o.busy;
+        waitPred += o.waitPred;
+        waitIntra += o.waitIntra;
+        fetchStall += o.fetchStall;
+        waitRetire += o.waitRetire;
+        return *this;
+    }
+};
+
+/** Counters for one task execution, folded at retire or squash. */
+struct TaskStats
+{
+    std::uint64_t instructions = 0;
+    CycleBreakdown cycles;
+};
+
+/** A single processing unit. */
+class ProcessingUnit
+{
+  public:
+    enum class Status : std::uint8_t {
+        kFree,     //!< no assigned task
+        kRunning,  //!< fetching/executing its task
+        kExited,   //!< stop resolved; draining in-flight work
+        kDone,     //!< everything complete; awaiting retirement
+    };
+
+    ProcessingUnit(unsigned id, const PuConfig &config, PuContext &ctx,
+                   StatGroup &stats);
+
+    /**
+     * Assign a task (or, for the scalar baseline, the whole program).
+     *
+     * @param seq Task sequence number.
+     * @param start_pc First instruction.
+     * @param create_mask Registers this task may produce.
+     * @param busy_mask Registers whose values are still to arrive
+     *        from predecessors (reservations).
+     * @param init_regs Initial register values (64 entries), or
+     *        nullptr to keep the unit's current values.
+     * @param expected_producers For each reserved register, the task
+     *        sequence number of the nearest active predecessor that
+     *        will supply it (ring deliveries from any other producer
+     *        are ignored — in hardware those messages are consumed
+     *        earlier on the ring). May be nullptr when busy_mask is
+     *        empty.
+     */
+    void assignTask(TaskSeq seq, Addr start_pc,
+                    const RegMask &create_mask, const RegMask &busy_mask,
+                    const isa::RegValue *init_regs,
+                    const TaskSeq *expected_producers = nullptr);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /**
+     * Squash: discard all task state.
+     * @return the task's counters (squashed work).
+     */
+    TaskStats flush();
+
+    /**
+     * Retire the (done) task at the head.
+     * @return the task's counters (useful work).
+     */
+    TaskStats retire();
+
+    /** A register value arriving over the ring from @p producer. */
+    void deliverForward(RegIndex reg, isa::RegValue value,
+                        TaskSeq producer);
+
+    Status status() const { return status_; }
+    bool isFree() const { return status_ == Status::kFree; }
+    bool isDone() const { return status_ == Status::kDone; }
+    TaskSeq seq() const { return seq_; }
+    unsigned id() const { return id_; }
+
+    /** Registers already sent to successors this task. */
+    const RegMask &forwardedMask() const { return forwardedMask_; }
+
+    /** The value that was forwarded for @p reg (it must have been). */
+    isa::RegValue
+    forwardedValue(RegIndex reg) const
+    {
+        panicIf(!forwardedMask_.test(reg),
+                "forwardedValue of an unforwarded register");
+        return forwardedValues_[size_t(reg)];
+    }
+
+    /** This task's create mask. */
+    const RegMask &createMask() const { return createMask_; }
+
+    /** Current register values (64), e.g. to seed a successor. */
+    std::array<isa::RegValue, kNumRegs> regValues() const;
+
+    /** Actual successor address; valid once status >= kExited. */
+    Addr exitTarget() const { return exitTarget_; }
+    bool hasExited() const
+    {
+        return status_ == Status::kExited || status_ == Status::kDone;
+    }
+
+    /** Counters of the task currently in flight. */
+    const TaskStats &currentTaskStats() const { return taskStats_; }
+
+  private:
+    /** Per-register scoreboard state. */
+    struct RegState
+    {
+        isa::RegValue value;
+        bool awaitingPred = false;  //!< reservation on the ring
+        bool writerIssued = false;  //!< a local writer has issued
+        bool writtenWB = false;     //!< a local writer has written back
+        std::uint8_t pendingWriters = 0;
+    };
+
+    /** A fetched, decoded instruction awaiting dispatch. */
+    struct Fetched
+    {
+        const isa::Instruction *inst;
+        Addr pc;
+        Cycle readyAt;       //!< decode complete
+        bool predTaken;      //!< fetch direction assumed
+    };
+
+    /** An instruction in the issue window. */
+    struct Slot
+    {
+        const isa::Instruction *inst = nullptr;
+        Addr pc = 0;
+        bool issued = false;
+        bool done = false;
+        Cycle doneAt = 0;
+        bool predTaken = false;
+        isa::RegValue result;
+        isa::BranchResult branch;
+    };
+
+    // --- tick phases -------------------------------------------------
+    void completePhase(Cycle now);
+    unsigned issuePhase(Cycle now);
+    void dispatchPhase(Cycle now);
+    void fetchPhase(Cycle now);
+    void autoReleasePhase();
+    void accountCycle(Cycle now, unsigned issued_count);
+
+    // --- helpers -----------------------------------------------------
+    bool regReadReady(RegIndex reg) const;
+    isa::RegValue regRead(RegIndex reg) const;
+    bool slotReady(const Slot &slot, size_t index, Cycle now) const;
+    bool tryIssue(Slot &slot, Cycle now);
+    void noteIssueDest(RegIndex reg);
+    void writeback(const Slot &slot);
+    void forwardValue(RegIndex reg, isa::RegValue value);
+    void resolveBranch(Slot &slot, size_t index, Cycle now);
+    void flushYounger(size_t index);
+    void exitTask(Addr successor);
+    bool predictTaken(const isa::Instruction &inst, Addr pc) const;
+    void trainBranch(Addr pc, bool taken);
+    bool anyInFlight() const;
+    void maybeFinish();
+
+    // --- identity / wiring -------------------------------------------
+    unsigned id_;
+    PuConfig config_;
+    PuContext &ctx_;
+    StatGroup &stats_;
+
+    // --- task state ---------------------------------------------------
+    Status status_ = Status::kFree;
+    TaskSeq seq_ = 0;
+    RegMask createMask_;
+    RegMask forwardedMask_;
+    Addr exitTarget_ = 0;
+    TaskStats taskStats_;
+
+    std::array<RegState, kNumRegs> regs_;
+    std::array<TaskSeq, kNumRegs> expectedProducer_{};
+    std::array<isa::RegValue, kNumRegs> forwardedValues_{};
+
+    // --- pipeline state ------------------------------------------------
+    std::deque<Fetched> fetchBuf_;
+    std::vector<Slot> window_;
+    Addr fetchPc_ = 0;
+    bool fetchEnabled_ = false;
+    bool awaitRedirect_ = false;   //!< jr/jalr target pending
+    Cycle pendingFetchReady_ = 0;  //!< icache miss outstanding
+    /** Per-cycle acceptance counters of the pipelined FUs. */
+    std::array<unsigned, size_t(isa::FuKind::kNumFuKinds)> fuAccepts_{};
+
+    /** Optional intra-unit bimodal predictor. */
+    std::vector<SatCounter> branchTable_;
+};
+
+} // namespace msim
+
+#endif // MSIM_PU_PROCESSING_UNIT_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The environment a processing unit executes in.
+ *
+ * The same pipeline (ProcessingUnit) serves both the multiscalar
+ * units and the scalar baseline; everything outside the unit —
+ * caches, the ARB, the forwarding ring, syscalls, and the sequencer —
+ * is reached through this interface. MultiscalarProcessor and
+ * ScalarProcessor implement it; unit tests provide mocks.
+ *
+ * Reentrancy rule: callbacks invoked from inside
+ * ProcessingUnit::tick() (memStore violations, taskExited, ARB space
+ * exhaustion) must not synchronously squash or flush units; the
+ * implementations record the event and act at the end of the cycle.
+ */
+
+#ifndef MSIM_PU_PU_CONTEXT_HH
+#define MSIM_PU_PU_CONTEXT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/exec.hh"
+#include "isa/instruction.hh"
+
+namespace msim {
+
+/** Services a ProcessingUnit needs from the rest of the machine. */
+class PuContext
+{
+  public:
+    virtual ~PuContext() = default;
+
+    /** @return the decoded instruction at @p pc, or nullptr. */
+    virtual const isa::Instruction *instrAt(Addr pc) = 0;
+
+    /** Time an instruction fetch; returns the data-ready cycle. */
+    virtual Cycle icacheAccess(unsigned unit, Cycle now, Addr pc) = 0;
+
+    /** Time a data access; returns the completion cycle. */
+    virtual Cycle dcacheAccess(unsigned unit, Cycle now, Addr addr,
+                               bool write) = 0;
+
+    /**
+     * May a memory operation proceed (ARB capacity)? Returning false
+     * makes the unit retry next cycle; a squash-on-full policy frees
+     * space at the end of the cycle.
+     */
+    virtual bool memHasSpace(unsigned unit, Addr addr, unsigned size,
+                             bool is_load) = 0;
+
+    /** Perform the functional (and ordering) part of a load. */
+    virtual std::uint64_t memLoad(unsigned unit, Addr addr,
+                                  unsigned size) = 0;
+
+    /**
+     * Perform the functional (and ordering) part of a store.
+     * Dependence violations are detected inside and handled at the
+     * end of the cycle.
+     */
+    virtual void memStore(unsigned unit, Addr addr, unsigned size,
+                          std::uint64_t value) = 0;
+
+    /** Send a register value to the successor units. */
+    virtual void forwardReg(unsigned unit, RegIndex reg,
+                            isa::RegValue value) = 0;
+
+    /** May this unit execute a syscall now (head / non-speculative)? */
+    virtual bool syscallAllowed(unsigned unit) = 0;
+
+    /**
+     * Execute a syscall. @return the value for $v0.
+     * Program exit is signalled out of band by the implementation.
+     */
+    virtual isa::RegValue doSyscall(unsigned unit, isa::RegValue v0,
+                                    isa::RegValue a0,
+                                    isa::RegValue a1) = 0;
+
+    /**
+     * The unit's task has resolved its stop instruction; the actual
+     * successor task starts at @p next_task. Handled at end of cycle
+     * (prediction validation, possible squash).
+     */
+    virtual void taskExited(unsigned unit, Addr next_task) = 0;
+};
+
+} // namespace msim
+
+#endif // MSIM_PU_PU_CONTEXT_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A sequential reference interpreter: executes a Program one
+ * instruction at a time with plain sequential semantics and no
+ * timing. This is the definition of correctness that both processor
+ * models must reproduce — the property-based tests run random
+ * programs on the reference, the scalar pipeline, and the multiscalar
+ * machine and require identical outputs.
+ */
+
+#ifndef MSIM_SIM_REFERENCE_HH
+#define MSIM_SIM_REFERENCE_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "mem/main_memory.hh"
+#include "program/program.hh"
+
+namespace msim {
+
+/** Result of a reference interpretation. */
+struct ReferenceResult
+{
+    bool exited = false;
+    std::string output;
+    std::uint64_t instructions = 0;
+};
+
+/**
+ * Interpret @p prog sequentially until the exit syscall (or
+ * @p max_steps instructions).
+ *
+ * @param prog The program (multiscalar annotations are ignored).
+ * @param init Optional memory initialization hook.
+ * @param input Integer stream for syscall 5.
+ */
+ReferenceResult referenceRun(
+    const Program &prog,
+    const std::function<void(MainMemory &, const Program &)> &init = {},
+    std::deque<std::int32_t> input = {},
+    std::uint64_t max_steps = 100'000'000);
+
+} // namespace msim
+
+#endif // MSIM_SIM_REFERENCE_HH

@@ -1,0 +1,52 @@
+#include "sim/runner.hh"
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "core/multiscalar_processor.hh"
+
+namespace msim {
+
+Program
+assembleWorkload(const workloads::Workload &workload, bool multiscalar,
+                 const std::set<std::string> &defines)
+{
+    assembler::AsmOptions opts;
+    opts.multiscalar = multiscalar;
+    opts.defines = defines;
+    opts.fileName = workload.name + (multiscalar ? ".ms.s" : ".sc.s");
+    return assembler::assemble(workload.source, opts);
+}
+
+RunResult
+runWorkload(const workloads::Workload &workload, const RunSpec &spec)
+{
+    Program prog =
+        assembleWorkload(workload, spec.multiscalar, spec.defines);
+
+    RunResult result;
+    if (spec.multiscalar) {
+        MultiscalarProcessor proc(prog, spec.ms);
+        if (workload.init)
+            workload.init(proc.memory(), prog);
+        proc.setInput(workload.input);
+        result = proc.run(spec.maxCycles);
+    } else {
+        ScalarProcessor proc(prog, spec.scalar);
+        if (workload.init)
+            workload.init(proc.memory(), prog);
+        proc.setInput(workload.input);
+        result = proc.run(spec.maxCycles);
+    }
+
+    fatalIf(!result.exited, "workload ", workload.name,
+            " did not finish within ", spec.maxCycles, " cycles");
+    if (spec.checkOutput) {
+        fatalIf(result.output != workload.expected,
+                "workload ", workload.name,
+                " produced wrong output.\n  expected: ",
+                workload.expected, "\n  actual:   ", result.output);
+    }
+    return result;
+}
+
+} // namespace msim

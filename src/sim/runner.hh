@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Convenience harness: assemble a workload, build a processor,
+ * initialize inputs, run, and verify the output against the
+ * workload's golden model. All benchmarks and most integration tests
+ * go through this interface.
+ */
+
+#ifndef MSIM_SIM_RUNNER_HH
+#define MSIM_SIM_RUNNER_HH
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "core/ms_config.hh"
+#include "core/run_result.hh"
+#include "core/scalar_processor.hh"
+#include "workloads/workload.hh"
+
+namespace msim {
+
+/** How to run a workload. */
+struct RunSpec
+{
+    /** True = multiscalar machine, false = scalar baseline. */
+    bool multiscalar = true;
+    MsConfig ms;
+    ScalarConfig scalar;
+    /** Extra assembler defines (workload variants). */
+    std::set<std::string> defines;
+    Cycle maxCycles = 1'000'000'000;
+    /** Verify output against the workload's golden model. */
+    bool checkOutput = true;
+};
+
+/**
+ * Assemble and run a workload under the given spec.
+ *
+ * Throws FatalError when the program does not assemble, does not
+ * terminate within maxCycles, or (with checkOutput) produces output
+ * different from the golden model.
+ */
+RunResult runWorkload(const workloads::Workload &workload,
+                      const RunSpec &spec);
+
+/** Assemble a workload for the given mode (exposed for tests). */
+Program assembleWorkload(const workloads::Workload &workload,
+                         bool multiscalar,
+                         const std::set<std::string> &defines = {});
+
+} // namespace msim
+
+#endif // MSIM_SIM_RUNNER_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Syscall emulation. The paper's simulator executes all program code
+ * cycle by cycle and traps system calls to the host OS; we do the
+ * same with a small fixed syscall surface (SPIM-flavored codes):
+ *
+ *   $v0 = 1   print integer in $a0
+ *   $v0 = 4   print NUL-terminated string at $a0
+ *   $v0 = 5   read one integer from the input stream -> $v0 (-1 EOF)
+ *   $v0 = 9   sbrk($a0) -> previous break
+ *   $v0 = 10  exit
+ *   $v0 = 11  print character in $a0
+ *
+ * In a multiscalar processor only the head (non-speculative) unit may
+ * execute a syscall, so these never need to be undone.
+ */
+
+#ifndef MSIM_SIM_SYSCALLS_HH
+#define MSIM_SIM_SYSCALLS_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/exec.hh"
+
+namespace msim {
+
+/** Host-side syscall emulation shared by both processor models. */
+class SyscallHandler
+{
+  public:
+    /** Reads one byte of program-visible memory (through the ARB). */
+    using ByteReader = std::function<std::uint8_t(Addr)>;
+
+    SyscallHandler(ByteReader reader, Addr heap_start)
+        : readByte_(std::move(reader)), brk_(heap_start)
+    {
+    }
+
+    /** Provide the integer input stream (syscall 5 consumes it). */
+    void
+    setInput(std::deque<std::int32_t> input)
+    {
+        input_ = std::move(input);
+    }
+
+    /**
+     * Execute a syscall.
+     *
+     * @param v0 Syscall code.
+     * @param a0 First argument.
+     * @param a1 Second argument.
+     * @return the value left in $v0.
+     */
+    isa::RegValue
+    execute(isa::RegValue v0, isa::RegValue a0, isa::RegValue a1)
+    {
+        (void)a1;
+        switch (v0.asWord()) {
+          case 1:
+            output_ += std::to_string(a0.asSWord());
+            return v0;
+          case 4: {
+            Addr p = a0.asWord();
+            for (unsigned i = 0; i < 65536; ++i) {
+                char c = char(readByte_(p + i));
+                if (c == '\0')
+                    break;
+                output_.push_back(c);
+            }
+            return v0;
+          }
+          case 5: {
+            if (input_.empty())
+                return isa::RegValue::fromWord(Word(-1));
+            std::int32_t v = input_.front();
+            input_.pop_front();
+            return isa::RegValue::fromWord(Word(v));
+          }
+          case 9: {
+            Addr old = brk_;
+            brk_ += a0.asWord();
+            return isa::RegValue::fromWord(old);
+          }
+          case 10:
+            exited_ = true;
+            return v0;
+          case 11:
+            output_.push_back(char(a0.asWord() & 0xff));
+            return v0;
+          default:
+            fatal("unknown syscall code ", v0.asWord());
+        }
+    }
+
+    bool exited() const { return exited_; }
+    const std::string &output() const { return output_; }
+    Addr brk() const { return brk_; }
+
+  private:
+    ByteReader readByte_;
+    Addr brk_;
+    std::deque<std::int32_t> input_;
+    std::string output_;
+    bool exited_ = false;
+};
+
+} // namespace msim
+
+#endif // MSIM_SIM_SYSCALLS_HH

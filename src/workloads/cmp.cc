@@ -1,0 +1,119 @@
+/**
+ * @file
+ * cmp analogue (GNU diffutils cmp, part of the paper's suite):
+ * compare two buffers byte by byte and report the first difference.
+ *
+ * Multiscalar structure: one task compares a 256-byte chunk; the
+ * chunk pointer is forwarded at the top so chunk comparisons overlap.
+ * A difference exits through the second task target. The buffers
+ * differ only near the end (cmp on nearly identical files, the
+ * interesting case), so almost the whole input is compared in
+ * parallel — the paper reports cmp's best-in-suite speedups.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+
+namespace msim::workloads {
+
+namespace {
+
+constexpr unsigned kChunk = 256;
+constexpr unsigned kChunksPerScale = 80;
+
+const char *const kSource = R"(
+# ---- cmp: byte compare over fixed-size chunks ----
+        .data
+NBYTES: .word 0
+BUFA:   .space 40960
+        .space 192                # skew B so A[x]/B[x] avoid mapping
+                                  # to the same direct-mapped set
+BUFB:   .space 40960
+        .text
+
+main:
+        la   $20, BUFA
+        lw   $9, NBYTES
+        addu $21, $20, $9         # $21 = end of A
+        la   $22, BUFB
+        subu $22, $22, $20        # $22 = B - A displacement
+        li   $16, 0               # first-difference offset (0 = none)
+@ms     b    CMPLOOP          !s
+
+@ms .task main
+@ms .targets CMPLOOP
+@ms .create $16, $20, $21, $22
+@ms .endtask
+
+@ms .task CMPLOOP
+@ms .targets CMPLOOP:loop, CMPDIFF, CMPEQ
+@ms .create $16, $20
+@ms .endtask
+
+CMPLOOP:
+        addu $20, $20, 256    !f  # chunk pointer, forwarded early
+        subu $8, $20, 256         # scan pointer into A
+CMPBYTE:
+        lbu  $9, 0($8)
+        addu $10, $8, $22
+        lbu  $10, 0($10)
+        bne  $9, $10, CMPFOUND
+        addu $8, $8, 1
+        bne  $8, $20, CMPBYTE
+        bne  $20, $21, CMPLOOP !s # fall through: buffers are equal
+
+@ms .task CMPEQ
+@ms .endtask
+CMPEQ:
+        li   $4, 0
+        b    CMPPRINT
+CMPFOUND:
+        la   $9, BUFA
+        subu $16, $8, $9      !f  # difference offset
+        b    CMPDIFF          !s
+
+@ms .task CMPDIFF
+@ms .endtask
+CMPDIFF:
+        addu $4, $16, 1           # cmp reports 1-based position
+CMPPRINT:
+        li   $2, 1
+        syscall                   # print position (0 = identical)
+        li   $4, 10
+        li   $2, 11
+        syscall
+        li   $2, 10
+        syscall
+)";
+
+} // namespace
+
+Workload
+makeCmp(unsigned scale)
+{
+    fatalIf(scale > 2, "cmp workload buffers support scale <= 2");
+    Workload w;
+    w.name = "cmp";
+    w.description = "byte compare, one task per 256-byte chunk";
+    w.source = kSource;
+
+    const unsigned nbytes = kChunk * kChunksPerScale * scale;
+    std::vector<std::uint8_t> a(nbytes), b(nbytes);
+    for (unsigned i = 0; i < nbytes; ++i)
+        a[i] = b[i] = std::uint8_t('A' + (i * 131) % 53);
+    // One difference late in the buffer.
+    const unsigned diff = nbytes - kChunk / 2;
+    b[diff] = std::uint8_t(a[diff] + 1);
+
+    w.init = [a, b, nbytes](MainMemory &mem, const Program &prog) {
+        mem.write(*prog.symbol("NBYTES"), nbytes, 4);
+        mem.writeBytes(*prog.symbol("BUFA"), a.data(), a.size());
+        mem.writeBytes(*prog.symbol("BUFB"), b.data(), b.size());
+    };
+
+    w.expected = std::to_string(diff + 1) + "\n";
+    return w;
+}
+
+} // namespace msim::workloads

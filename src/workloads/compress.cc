@@ -1,0 +1,161 @@
+/**
+ * @file
+ * compress analogue. The paper: "in compress all time is spent in a
+ * single (big) loop... bound by a recurrence (getting the index into
+ * the hash table) that results in a long critical path through the
+ * entire program. The problem is further aggravated by the huge size
+ * of the hash table, which results in a high rate of cache misses."
+ *
+ * This is an LZW-style encoder: for each input byte, hash
+ * (prev_code, char) into a 4096-entry open-addressed table; on a hit
+ * the pair becomes the new prefix code, on a miss the pair is
+ * inserted and the previous code is emitted into a checksum. A task
+ * is one input byte. The prefix code is a loop-carried value computed
+ * at the *end* of the task, so tasks serialize on it — reproducing
+ * compress's small multiscalar speedup — and the 32 KB table thrashes
+ * the 8 KB data banks.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace msim::workloads {
+
+namespace {
+
+constexpr unsigned kBytesPerScale = 6000;
+
+const char *const kSource = R"(
+# ---- compress: LZW-style hash loop with a code recurrence ----
+        .data
+NBYTES: .word 0
+INPUT:  .space 12288
+        .align 3
+HTAB:   .space 32768              # 4096 entries x {key, code}
+        .text
+
+main:
+        la   $20, INPUT
+        lw   $9, NBYTES
+        addu $21, $20, $9         # end of input
+        la   $18, HTAB
+        li   $16, 0               # prev code
+        li   $17, 256             # next free code
+        li   $19, 0               # output checksum
+@ms     b    CLOOP            !s
+
+@ms .task main
+@ms .targets CLOOP
+@ms .create $16, $17, $18, $19, $20, $21
+@ms .endtask
+
+@ms .task CLOOP
+@ms .targets CLOOP:loop, CDONE
+@ms .create $16, $17, $19, $20
+@ms .endtask
+
+CLOOP:
+        addu $20, $20, 1      !f  # input pointer, forwarded early
+        lbu  $8, -1($20)          # c
+        sll  $9, $16, 8
+        addu $9, $9, $8
+        addu $9, $9, 1            # key = prev<<8 | c, nonzero
+        li   $10, 40503
+        mul  $10, $9, $10
+        srl  $10, $10, 8
+        andi $10, $10, 4095       # h = hash(key)
+CPROBE:
+        sll  $11, $10, 3
+        addu $11, $11, $18        # &htab[h]
+        lw   $12, 0($11)
+        beq  $12, $9, CHIT
+        beq  $12, $0, CMISS
+        addu $10, $10, 1
+        andi $10, $10, 4095
+        b    CPROBE
+CHIT:
+        lw   $16, 4($11)      !f  # prev = code of the pair
+@ms     release $17, $19
+        b    CNEXT
+CMISS:
+        slti $14, $17, 4000       # table capacity guard
+        beq  $14, $0, CFULL
+        sw   $9, 0($11)           # insert pair
+        sw   $17, 4($11)
+        addu $17, $17, 1      !f  # free code counter
+        b    CEMIT
+CFULL:
+@ms     release $17               # no insertion when full
+CEMIT:
+        mul  $13, $19, 31
+        addu $19, $13, $16    !f  # emit prev into the checksum
+        move $16, $8          !f  # prev = c
+CNEXT:
+        bne  $20, $21, CLOOP  !s
+
+@ms .task CDONE
+@ms .endtask
+CDONE:
+        mul  $13, $19, 31
+        addu $19, $13, $16        # emit the final code
+        move $4, $19
+        li   $2, 1
+        syscall
+        li   $4, 10
+        li   $2, 11
+        syscall
+        li   $2, 10
+        syscall
+)";
+
+} // namespace
+
+Workload
+makeCompress(unsigned scale)
+{
+    fatalIf(scale > 2, "compress workload supports scale <= 2");
+    Workload w;
+    w.name = "compress";
+    w.description = "LZW-style hash loop, one task per input byte";
+    w.source = kSource;
+
+    // Skewed text so that pair matches actually occur.
+    const unsigned nbytes = kBytesPerScale * scale;
+    std::vector<std::uint8_t> input(nbytes);
+    Rng rng(990);
+    for (unsigned i = 0; i < nbytes; ++i)
+        input[i] = std::uint8_t('a' + rng.below(6));
+
+    w.init = [input, nbytes](MainMemory &mem, const Program &prog) {
+        mem.write(*prog.symbol("NBYTES"), nbytes, 4);
+        mem.writeBytes(*prog.symbol("INPUT"), input.data(),
+                       input.size());
+    };
+
+    // Golden model.
+    std::vector<std::uint32_t> key(4096, 0), code(4096, 0);
+    std::uint32_t prev = 0, free_code = 256, checksum = 0;
+    for (std::uint8_t c : input) {
+        const std::uint32_t k = (prev << 8) + c + 1;
+        std::uint32_t h = ((k * 40503u) >> 8) & 4095u;
+        while (key[h] != 0 && key[h] != k)
+            h = (h + 1) & 4095u;
+        if (key[h] == k) {
+            prev = code[h];
+        } else {
+            if (free_code < 4000) {
+                key[h] = k;
+                code[h] = free_code++;
+            }
+            checksum = checksum * 31 + prev;
+            prev = c;
+        }
+    }
+    checksum = checksum * 31 + prev;
+    w.expected = std::to_string(std::int32_t(checksum)) + "\n";
+    return w;
+}
+
+} // namespace msim::workloads

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * eqntott analogue. The paper: "most (85%) of the instructions in
+ * eqntott are in the cmppt function, which is dominated by a loop.
+ * The compiler automatically encompasses the entire loop body into a
+ * task, allowing multiple iterations of the loop to execute in
+ * parallel."
+ *
+ * cmppt compares two product terms (vectors of 2-bit values) and
+ * returns -1/0/1. Here an outer loop compares consecutive pairs of
+ * terms from a table (as qsort does inside eqntott) and accumulates
+ * an order statistic. A task is one cmppt call: the pair pointer is
+ * forwarded at the top, and the accumulator is consumed/produced at
+ * the bottom, so comparisons run in parallel. The inner comparison
+ * loop usually runs to a data-dependent early exit, giving mildly
+ * variable task lengths.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace msim::workloads {
+
+namespace {
+
+constexpr unsigned kTermWords = 16;  //!< words per product term
+constexpr unsigned kPairsPerScale = 1600;
+
+const char *const kSource = R"(
+# ---- eqntott: cmppt loop, one task per term comparison ----
+        .data
+NPAIRS: .word 0
+TERMS:  .space 108608             # (pairs+1) * 16 words, host-poked
+        .text
+
+main:
+        la   $20, TERMS
+        lw   $9, NPAIRS
+        sll  $9, $9, 6            # 64 bytes per term
+        addu $21, $20, $9         # end pointer (last pair start)
+        li   $19, 0               # order statistic accumulator
+@ms     b    CMPPT            !s
+
+@ms .task main
+@ms .targets CMPPT
+@ms .create $19, $20, $21
+@ms .endtask
+
+@ms .task CMPPT
+@ms .targets CMPPT:loop, CMPDONE
+@ms .create $19, $20
+@ms .endtask
+
+CMPPT:
+        addu $20, $20, 64     !f  # next pair, forwarded early
+        subu $8, $20, 64          # a = this term
+        move $9, $20              # b = next term
+        addu $10, $8, 64          # end of a
+        li   $11, 0               # result
+CMPW:
+        lw   $12, 0($8)
+        lw   $13, 0($9)
+        beq  $12, $13, CMPNEXT
+        slt  $14, $12, $13
+        bne  $14, $0, CMPLT
+        li   $11, 1
+        b    CMPOUT
+CMPLT:
+        li   $11, -1
+        b    CMPOUT
+CMPNEXT:
+        addu $8, $8, 4
+        addu $9, $9, 4
+        bne  $8, $10, CMPW
+CMPOUT:
+        # accumulate: stat = stat*3 + (result+1)  (order-sensitive)
+        mul  $15, $19, 3
+        addu $15, $15, $11
+        addu $19, $15, 1      !f
+        bne  $20, $21, CMPPT  !s
+
+@ms .task CMPDONE
+@ms .endtask
+CMPDONE:
+        move $4, $19
+        li   $2, 1
+        syscall
+        li   $4, 10
+        li   $2, 11
+        syscall
+        li   $2, 10
+        syscall
+)";
+
+} // namespace
+
+Workload
+makeEqntott(unsigned scale)
+{
+    fatalIf(scale > 1, "eqntott workload supports scale 1");
+    Workload w;
+    w.name = "eqntott";
+    w.description = "cmppt-style term comparisons, one task per pair";
+    w.source = kSource;
+
+    const unsigned npairs = kPairsPerScale * scale;
+    const unsigned nterms = npairs + 1;
+    // Terms share long common prefixes (cmppt usually scans several
+    // words before deciding), with deterministic divergence points.
+    std::vector<std::uint32_t> terms(size_t(nterms) * kTermWords);
+    Rng rng(4242);
+    for (unsigned t = 0; t < nterms; ++t) {
+        const unsigned diverge = 2 + unsigned(rng.below(kTermWords - 2));
+        for (unsigned i = 0; i < kTermWords; ++i) {
+            std::uint32_t base = 0x22222222u;  // common prefix value
+            terms[size_t(t) * kTermWords + i] =
+                i < diverge ? base : std::uint32_t(rng.below(4));
+        }
+    }
+
+    w.init = [terms, npairs](MainMemory &mem, const Program &prog) {
+        mem.write(*prog.symbol("NPAIRS"), npairs, 4);
+        const Addr base = *prog.symbol("TERMS");
+        for (size_t i = 0; i < terms.size(); ++i)
+            mem.write(base + Addr(4 * i), terms[i], 4);
+    };
+
+    // Golden model.
+    std::int32_t stat = 0;
+    for (unsigned p = 0; p < npairs; ++p) {
+        const std::uint32_t *a = &terms[size_t(p) * kTermWords];
+        const std::uint32_t *b = a + kTermWords;
+        std::int32_t res = 0;
+        for (unsigned i = 0; i < kTermWords; ++i) {
+            if (a[i] != b[i]) {
+                res = std::int32_t(a[i]) < std::int32_t(b[i]) ? -1 : 1;
+                break;
+            }
+        }
+        stat = stat * 3 + res + 1;
+    }
+    w.expected = std::to_string(stat) + "\n";
+    return w;
+}
+
+} // namespace msim::workloads

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * espresso analogue. The paper: "the top function in espresso is
+ * massive_count (37% of instructions). massive_count has two main
+ * loops. In both cases, the loop body is a task... In the first loop,
+ * each iteration executes a variable number of instructions (cycles
+ * are lost due to load balance). In the second loop (which contains a
+ * nested loop), an iteration of the outer loop includes all the
+ * iterations of the inner loop (the task partitioning needed a manual
+ * hint to select this granularity)."
+ *
+ * Loop 1: for every word of a cover, strip set bits one at a time
+ * (variable-length inner while loop -> load imbalance between tasks).
+ * Loop 2: for every row of a matrix, a full inner reduction loop is
+ * one task. Both accumulate into registers consumed late.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace msim::workloads {
+
+namespace {
+
+constexpr unsigned kWordsPerScale = 2048;   //!< loop 1 elements
+constexpr unsigned kRowsPerScale = 96;      //!< loop 2 rows
+constexpr unsigned kCols = 48;              //!< loop 2 columns
+
+const char *const kSource = R"(
+# ---- espresso: massive_count's two counting loops ----
+        .data
+NWORDS: .word 0
+NROWS:  .word 0
+COVER:  .space 16384              # loop 1 input words
+MATRIX: .space 73728              # loop 2 rows x 48 words
+        .text
+
+main:
+        la   $20, COVER
+        lw   $9, NWORDS
+        sll  $9, $9, 2
+        addu $21, $20, $9         # end of cover
+        li   $19, 0               # bit-count accumulator
+@ms     b    L1               !s
+
+@ms .task main
+@ms .targets L1
+@ms .create $19, $20, $21
+@ms .endtask
+
+@ms .task L1
+@ms .targets L1:loop, L1DONE
+@ms .create $19, $20
+@ms .endtask
+
+L1:
+        addu $20, $20, 4      !f  # element pointer, forwarded early
+        lw   $8, -4($20)          # w = cover word
+        li   $9, 0                # local bit count
+L1BIT:
+        beq  $8, $0, L1ACC        # strip set bits one at a time:
+        subu $10, $8, 1           #   w &= w - 1
+        and  $8, $8, $10
+        addu $9, $9, 1
+        b    L1BIT
+L1ACC:
+        # weighted accumulate (position-sensitive so order matters)
+        mul  $11, $19, 5
+        addu $19, $11, $9     !f
+        bne  $20, $21, L1     !s
+
+@ms .task L1DONE
+@ms .targets L2
+@ms .create $17, $19, $20, $21
+@ms .endtask
+L1DONE:
+        la   $20, MATRIX
+        lw   $9, NROWS
+        mul  $9, $9, 192          # 48 words per row
+        addu $21, $20, $9         # end of matrix
+        move $17, $19             # carry loop-1 result
+        li   $19, 0
+@ms     b    L2               !s
+
+@ms .task L2
+@ms .targets L2:loop, L2DONE
+@ms .create $19, $20
+@ms .endtask
+
+L2:
+        addu $20, $20, 192    !f  # row pointer, forwarded early
+        subu $8, $20, 192         # column scan pointer
+        li   $9, 0                # local row reduction
+L2COL:
+        lw   $10, 0($8)
+        sra  $11, $10, 16
+        addu $9, $9, $11          # high-half contribution
+        andi $11, $10, 255
+        xor  $9, $9, $11          # low-byte mix
+        addu $8, $8, 4
+        bne  $8, $20, L2COL
+        mul  $11, $19, 7
+        addu $19, $11, $9     !f
+        bne  $20, $21, L2     !s
+
+@ms .task L2DONE
+@ms .endtask
+L2DONE:
+        addu $4, $19, $17         # combine both loop results
+        li   $2, 1
+        syscall
+        li   $4, 10
+        li   $2, 11
+        syscall
+        li   $2, 10
+        syscall
+)";
+
+} // namespace
+
+Workload
+makeEspresso(unsigned scale)
+{
+    fatalIf(scale > 2, "espresso workload supports scale <= 2");
+    Workload w;
+    w.name = "espresso";
+    w.description = "massive_count's two loops (variable-length and "
+                    "nested tasks)";
+    w.source = kSource;
+
+    const unsigned nwords = kWordsPerScale * scale;
+    const unsigned nrows = kRowsPerScale * scale;
+    std::vector<std::uint32_t> cover(nwords);
+    std::vector<std::uint32_t> matrix(size_t(nrows) * kCols);
+    Rng rng(1331);
+    for (auto &v : cover) {
+        // Popcounts from 0 to ~24: strongly variable task lengths.
+        const unsigned bits = unsigned(rng.below(25));
+        std::uint32_t x = 0;
+        for (unsigned b = 0; b < bits; ++b)
+            x |= std::uint32_t(1) << rng.below(32);
+        v = x;
+    }
+    for (auto &v : matrix)
+        v = std::uint32_t(rng.next());
+
+    w.init = [cover, matrix, nwords, nrows](MainMemory &mem,
+                                            const Program &prog) {
+        mem.write(*prog.symbol("NWORDS"), nwords, 4);
+        mem.write(*prog.symbol("NROWS"), nrows, 4);
+        Addr c = *prog.symbol("COVER");
+        for (size_t i = 0; i < cover.size(); ++i)
+            mem.write(c + Addr(4 * i), cover[i], 4);
+        Addr m = *prog.symbol("MATRIX");
+        for (size_t i = 0; i < matrix.size(); ++i)
+            mem.write(m + Addr(4 * i), matrix[i], 4);
+    };
+
+    // Golden model.
+    std::uint32_t acc1 = 0;
+    for (std::uint32_t v : cover) {
+        std::uint32_t n = 0, x = v;
+        while (x) {
+            x &= x - 1;
+            ++n;
+        }
+        acc1 = acc1 * 5 + n;
+    }
+    std::uint32_t acc2 = 0;
+    for (unsigned r = 0; r < nrows; ++r) {
+        std::uint32_t red = 0;
+        for (unsigned cidx = 0; cidx < kCols; ++cidx) {
+            const std::uint32_t v = matrix[size_t(r) * kCols + cidx];
+            red += std::uint32_t(std::int32_t(v) >> 16);
+            red ^= v & 255u;
+        }
+        acc2 = acc2 * 7 + red;
+    }
+    w.expected =
+        std::to_string(std::int32_t(acc2 + acc1)) + "\n";
+    return w;
+}
+
+} // namespace msim::workloads

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * gcc analogue. The paper: gcc "distributes execution time uniformly
+ * across a great deal of code... for the task partitioning that we
+ * use currently, squashes (both prediction and memory order) result
+ * in near-sequential execution of the important tasks. Accordingly,
+ * the overheads in our multiscalar execution result in a slow down in
+ * some cases."
+ *
+ * An IR-walking pass: a stream of small operations dispatched through
+ * a branchy handler chain. Handlers read-modify-write a small set of
+ * global counters (file/buffer pointers and counters in the paper's
+ * terms — "typically these variables have their address taken, and
+ * therefore cannot be register allocated"), so concurrent tasks
+ * violate memory order constantly; a data-dependent side path makes
+ * the successor task hard to predict. The result is the paper's
+ * near-serial behaviour where the multiscalar overheads show.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace msim::workloads {
+
+namespace {
+
+constexpr unsigned kOpsPerScale = 4000;
+
+const char *const kSource = R"(
+# ---- gcc: branchy op dispatch over shared global state ----
+        .data
+NOPS:   .word 0
+GLOBS:  .space 32                 # eight global counters
+OPS:    .space 64512              # {code, operand} pairs, host-poked
+        .text
+
+main:
+        la   $20, OPS
+        lw   $9, NOPS
+        sll  $9, $9, 3
+        addu $21, $20, $9
+        la   $22, GLOBS
+        li   $19, 0               # checksum
+@def(SYNC) li $23, 0              # register copy of the hot global
+@ms     b    GLOOP            !s
+
+@ms .task main
+@ms .targets GLOOP
+@ms .create $19, $20, $21, $22
+@ms @def(SYNC) .create $23
+@ms .endtask
+
+@ms .task GLOOP
+@ms .targets GLOOP:loop, GSPECIAL, GDONE
+@ms .create $19, $20
+@ms @def(SYNC) .create $23
+@ms .endtask
+
+GLOOP:
+        addu $20, $20, 8      !f  # op pointer, forwarded early
+        lw   $8, -8($20)          # code
+        lw   $9, -4($20)          # operand
+@ndef(SYNC) lw   $14, 0($22)      # hot global read *early* in the
+                                  # task: the paper's memory-order
+                                  # squash scenario (section 3.1.1)
+@ms @def(SYNC) move $14, $23      # SYNC variant: the global travels
+                                  # in a register instead (the fix
+                                  # section 3.1.1 proposes)
+@sc @def(SYNC) lw  $14, 0($22)
+        # branchy dispatch chain (gcc-style unpredictable control)
+        li   $10, 3
+        slt  $11, $8, $10
+        beq  $11, $0, GHI
+        beq  $8, $0, G0
+        li   $10, 1
+        beq  $8, $10, G1
+        # code 2: G[2] -= operand
+        lw   $11, 8($22)
+        subu $11, $11, $9
+        sw   $11, 8($22)
+        b    GACC
+G0:     # G[0] += operand
+        lw   $11, 0($22)
+        addu $11, $11, $9
+        sw   $11, 0($22)
+        b    GACC
+G1:     # G[1] ^= operand
+        lw   $11, 4($22)
+        xor  $11, $11, $9
+        sw   $11, 4($22)
+        b    GACC
+GHI:
+        li   $10, 5
+        slt  $11, $8, $10
+        beq  $11, $0, GTOP
+        li   $10, 3
+        beq  $8, $10, G3
+        # code 4: G[4] += G[3] (cross-global dependence)
+        lw   $11, 12($22)
+        lw   $12, 16($22)
+        addu $12, $12, $11
+        sw   $12, 16($22)
+        b    GACC
+G3:     # G[3] = G[3]*5 + operand
+        lw   $11, 12($22)
+        mul  $11, $11, 5
+        addu $11, $11, $9
+        sw   $11, 12($22)
+        b    GACC
+GTOP:
+        li   $10, 7
+        beq  $8, $10, GSPEC       # code 7: special side path
+        # codes 5, 6: G[code] rotated mix
+        sll  $12, $8, 2
+        addu $12, $12, $22
+        lw   $11, 0($12)
+        srl  $13, $11, 3
+        xor  $11, $13, $9
+        sw   $11, 0($12)
+GACC:
+        addu $12, $14, $9         # every op updates the hot global
+        sw   $12, 0($22)          # (paper: "file and buffer pointers
+                                  # and counters")
+@ms @def(SYNC) move $23, $12  !f  # SYNC: forward the new value
+        mul  $13, $19, 3
+        addu $19, $13, $14    !f  # fold the early global read
+        bne  $20, $21, GLOOP  !st # loop back ends the task
+        b    GDONE            !s  # stream exhausted
+
+GSPEC:
+        # leave the main loop through a different task: the
+        # sequencer's prediction for GLOOP becomes data dependent.
+@ms     release $19
+@ms @def(SYNC) release $23
+        b    GSPECIAL         !s
+
+@ms .task GSPECIAL
+@ms .targets GLOOP, GDONE
+@ms .create $19
+@ms @def(SYNC) .create $23
+@ms .endtask
+GSPECIAL:
+        # rebalance pass over all eight globals
+        lw   $8, 28($22)
+        li   $9, 0
+        li   $10, 8
+GSPLOOP:
+        sll  $11, $9, 2
+        addu $11, $11, $22
+        lw   $12, 0($11)
+        addu $8, $8, $12
+        addu $9, $9, 1
+        bne  $9, $10, GSPLOOP
+        sw   $8, 28($22)
+        mul  $13, $19, 3
+        addu $19, $13, $8     !f
+@ms @def(SYNC) release $23
+        bne  $20, $21, GLOOP  !st
+        b    GDONE            !s
+
+@ms .task GDONE
+@ms .endtask
+GDONE:
+        # fold the globals into the checksum
+        li   $9, 0
+        li   $10, 8
+GFOLD:
+        sll  $11, $9, 2
+        addu $11, $11, $22
+        lw   $12, 0($11)
+        mul  $13, $19, 3
+        addu $19, $13, $12
+        addu $9, $9, 1
+        bne  $9, $10, GFOLD
+        move $4, $19
+        li   $2, 1
+        syscall
+        li   $4, 10
+        li   $2, 11
+        syscall
+        li   $2, 10
+        syscall
+)";
+
+} // namespace
+
+Workload
+makeGcc(unsigned scale)
+{
+    fatalIf(scale > 2, "gcc workload supports scale <= 2");
+    Workload w;
+    w.name = "gcc";
+    w.description =
+        "branchy op dispatch with shared global state (near-serial)";
+    w.source = kSource;
+
+    const unsigned nops = kOpsPerScale * scale;
+    std::vector<std::uint32_t> ops(size_t(nops) * 2);
+    Rng rng(31415);
+    for (unsigned i = 0; i < nops; ++i) {
+        // Skewed, pattern-free code distribution; code 7 ~ 6%.
+        const std::uint64_t r = rng.below(100);
+        std::uint32_t code;
+        if (r < 22)
+            code = 0;
+        else if (r < 40)
+            code = 1;
+        else if (r < 55)
+            code = 2;
+        else if (r < 70)
+            code = 3;
+        else if (r < 82)
+            code = 4;
+        else if (r < 89)
+            code = 5;
+        else if (r < 94)
+            code = 6;
+        else
+            code = 7;
+        ops[size_t(i) * 2] = code;
+        ops[size_t(i) * 2 + 1] = std::uint32_t(rng.below(1000));
+    }
+
+    w.init = [ops, nops](MainMemory &mem, const Program &prog) {
+        mem.write(*prog.symbol("NOPS"), nops, 4);
+        const Addr base = *prog.symbol("OPS");
+        for (size_t i = 0; i < ops.size(); ++i)
+            mem.write(base + Addr(4 * i), ops[i], 4);
+    };
+
+    // Golden model.
+    std::uint32_t g[8] = {};
+    std::uint32_t acc = 0;
+    for (unsigned i = 0; i < nops; ++i) {
+        const std::uint32_t code = ops[size_t(i) * 2];
+        const std::uint32_t operand = ops[size_t(i) * 2 + 1];
+        const std::uint32_t g0_before = g[0];
+        switch (code) {
+          case 0:
+            g[0] += operand;
+            break;
+          case 1:
+            g[1] ^= operand;
+            break;
+          case 2:
+            g[2] -= operand;
+            break;
+          case 3:
+            g[3] = g[3] * 5 + operand;
+            break;
+          case 4:
+            g[4] += g[3];
+            break;
+          case 5:
+          case 6:
+            g[code] = (g[code] >> 3) ^ operand;
+            break;
+          case 7: {
+            std::uint32_t s = g[7];
+            for (unsigned k = 0; k < 8; ++k)
+                s += g[k];
+            g[7] = s;
+            acc = acc * 3 + s;
+            break;
+          }
+        }
+        if (code != 7) {
+            g[0] = g0_before + operand;
+            acc = acc * 3 + g0_before;
+        }
+    }
+    for (unsigned k = 0; k < 8; ++k)
+        acc = acc * 3 + g[k];
+    w.expected = std::to_string(std::int32_t(acc)) + "\n";
+    return w;
+}
+
+} // namespace msim::workloads

@@ -1,0 +1,36 @@
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+
+namespace msim::workloads {
+
+const std::map<std::string, WorkloadFactory> &
+registry()
+{
+    // Workloads are added here as they are brought up; the
+    // correctness test sweeps everything in this table.
+    static const std::map<std::string, WorkloadFactory> table = {
+        {"example", &makeExample},
+        {"wc", &makeWc},
+        {"cmp", &makeCmp},
+        {"eqntott", &makeEqntott},
+        {"compress", &makeCompress},
+        {"espresso", &makeEspresso},
+        {"tomcatv", &makeTomcatv},
+        {"sc", &makeSc},
+        {"gcc", &makeGcc},
+        {"xlisp", &makeXlisp},
+    };
+    return table;
+}
+
+Workload
+get(const std::string &name, unsigned scale)
+{
+    auto it = registry().find(name);
+    fatalIf(it == registry().end(), "unknown workload '", name, "'");
+    fatalIf(scale == 0, "workload scale must be positive");
+    return it->second(scale);
+}
+
+} // namespace msim::workloads

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * sc analogue (the spreadsheet from SPECint92). The paper: RealEvalAll
+ * visits every cell and calls the expensive recursive RealEvalOne for
+ * the non-empty ones; "since RealEvalOne executes for hundreds of
+ * cycles, the load imbalance between the work at each cell is
+ * enormous. Accordingly, we restructured the RealEvalOne loop to
+ * build a work list of the cells to be evaluated and to call
+ * RealEvalOne for each of the cells on the work list."
+ *
+ * A cell's formula is a binary expression tree evaluated by a
+ * recursive function (the suppressed call of the paper). Recursion
+ * uses the regular stack: concurrent tasks reuse the same stack
+ * addresses and rely on the ARB's memory renaming, exactly the
+ * parallel-function-call scenario of section 2.3.
+ *
+ * Two variants from one source:
+ *  - default: the paper's restructured work-list loop (a task per
+ *    non-empty cell, good load balance);
+ *  - define SCGRID: the original loop over all (mostly empty) cells,
+ *    for the load-balancing ablation.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace msim::workloads {
+
+namespace {
+
+constexpr unsigned kCellsPerScale = 1600;  //!< 40x40 sheet
+constexpr unsigned kFillPermille = 150;    //!< ~15% non-empty
+
+const char *const kSource = R"(
+# ---- sc: recursive cell evaluation over a work list ----
+        .data
+NWL:    .word 0                   # work list length
+NCELLS: .word 0                   # grid size (SCGRID variant)
+WLIST:  .space 2048               # host-poked root pointers
+GRID:   .space 12800              # host-poked roots or 0 (empty)
+NODES:  .space 65536              # host-poked expression trees
+        .text
+
+main:
+        li   $19, 0               # evaluation checksum
+@ndef(SCGRID) la   $20, WLIST
+@ndef(SCGRID) lw   $9, NWL
+@def(SCGRID)  la   $20, GRID
+@def(SCGRID)  lw   $9, NCELLS
+        sll  $9, $9, 2
+        addu $21, $20, $9
+@ms     b    SCLOOP           !s
+
+@ms .task main
+@ms .targets SCLOOP
+@ms .create $19, $20, $21
+@ms .endtask
+
+@ms .task SCLOOP
+@ms .targets SCLOOP:loop, SCDONE
+@ms .create $19, $20
+@ms .endtask
+
+SCLOOP:
+        addu $20, $20, 4      !f  # next entry, forwarded early
+        lw   $4, -4($20)          # expression root (0 = empty cell)
+@def(SCGRID)  beq  $4, $0, SCSKIP
+        jal  EVAL                 # suppressed recursive call
+        mul  $9, $19, 13
+        addu $19, $9, $2      !f
+@ndef(SCGRID) bne  $20, $21, SCLOOP !s
+@def(SCGRID)  b    SCNEXT
+@def(SCGRID) SCSKIP:
+@ms @def(SCGRID) release $19
+@def(SCGRID) SCNEXT:
+@def(SCGRID)  bne  $20, $21, SCLOOP !s
+
+@ms .task SCDONE
+@ms .endtask
+SCDONE:
+        move $4, $19
+        li   $2, 1
+        syscall
+        li   $4, 10
+        li   $2, 11
+        syscall
+        li   $2, 10
+        syscall
+
+# EVAL(node $4) -> $2. Node: {op, left, right}; op 0 = leaf(left).
+EVAL:
+        lw   $8, 0($4)
+        bne  $8, $0, EVALIN
+        lw   $2, 4($4)
+        jr   $31
+EVALIN:
+        subu $29, $29, 12
+        sw   $31, 0($29)
+        sw   $17, 4($29)
+        sw   $4, 8($29)
+        lw   $4, 4($4)            # left subtree
+        jal  EVAL
+        move $17, $2
+        lw   $4, 8($29)
+        lw   $4, 8($4)            # right subtree
+        jal  EVAL
+        lw   $4, 8($29)
+        lw   $8, 0($4)
+        li   $9, 1
+        beq  $8, $9, EADD
+        li   $9, 2
+        beq  $8, $9, EMUL
+        subu $2, $17, $2          # op 3: subtract
+        b    ERET
+EADD:
+        addu $2, $17, $2
+        b    ERET
+EMUL:
+        mul  $2, $17, $2
+ERET:
+        lw   $31, 0($29)
+        lw   $17, 4($29)
+        addu $29, $29, 12
+        jr   $31
+)";
+
+/** Host-side expression tree builder mirrored by the golden model. */
+struct TreeBuilder
+{
+    std::vector<std::uint32_t> nodes;  // triples {op, a, b}
+    Addr base;
+
+    explicit TreeBuilder(Addr node_base) : base(node_base) {}
+
+    /** @return the simulated address of the built node. */
+    Addr
+    build(Rng &rng, unsigned depth)
+    {
+        const size_t idx = nodes.size();
+        nodes.resize(idx + 3);
+        const Addr addr = base + Addr(4 * idx);
+        if (depth == 0 || rng.below(4) == 0) {
+            nodes[idx] = 0;  // leaf
+            nodes[idx + 1] = std::uint32_t(rng.range(-50, 50));
+            nodes[idx + 2] = 0;
+        } else {
+            const std::uint32_t op = 1 + std::uint32_t(rng.below(3));
+            nodes[idx] = op;
+            // Children are built after the slot is reserved.
+            const Addr l = build(rng, depth - 1);
+            const Addr r = build(rng, depth - 1);
+            nodes[idx + 1] = l;
+            nodes[idx + 2] = r;
+        }
+        return addr;
+    }
+
+    /** Evaluate a tree the way the simulated EVAL does. */
+    std::int32_t
+    eval(Addr addr) const
+    {
+        const size_t idx = (addr - base) / 4;
+        const std::uint32_t op = nodes[idx];
+        if (op == 0)
+            return std::int32_t(nodes[idx + 1]);
+        const std::int32_t l = eval(nodes[idx + 1]);
+        const std::int32_t r = eval(nodes[idx + 2]);
+        switch (op) {
+          case 1:
+            return l + r;
+          case 2:
+            return std::int32_t(std::int64_t(l) * r);
+          default:
+            return l - r;
+        }
+    }
+};
+
+} // namespace
+
+Workload
+makeSc(unsigned scale)
+{
+    fatalIf(scale > 2, "sc workload supports scale <= 2");
+    Workload w;
+    w.name = "sc";
+    w.description =
+        "recursive spreadsheet evaluation over a work list "
+        "(define SCGRID for the unbalanced original)";
+    w.source = kSource;
+
+    const unsigned ncells = kCellsPerScale * scale;
+    // Node addresses depend on the program layout; NODES is at a
+    // fixed symbol, so precompute relative to 0 and rebase in init.
+    Rng rng(2025);
+    TreeBuilder trees(0);
+    std::vector<Addr> grid(ncells, 0);
+    std::vector<Addr> wlist;
+    for (unsigned c = 0; c < ncells; ++c) {
+        if (rng.below(1000) < kFillPermille) {
+            const unsigned depth = 2 + unsigned(rng.below(5));
+            grid[c] = trees.build(rng, depth) + 4;  // +4: 0 = empty
+            wlist.push_back(grid[c]);
+        }
+    }
+    fatalIf(trees.nodes.size() * 4 > 65536,
+            "sc expression pool overflow");
+    fatalIf(wlist.size() * 4 > 2048, "sc work list overflow");
+
+    w.init = [trees, grid, wlist](MainMemory &mem, const Program &prog) {
+        const Addr nodes = *prog.symbol("NODES");
+        // Trees were built with base 0 and offset +4; rebase all
+        // child pointers and roots to the real NODES address.
+        std::vector<std::uint32_t> fixed = trees.nodes;
+        for (size_t i = 0; i < fixed.size(); i += 3) {
+            if (fixed[i] != 0) {
+                fixed[i + 1] += nodes - 4 + 4;  // child address
+                fixed[i + 2] += nodes - 4 + 4;
+            }
+        }
+        for (size_t i = 0; i < fixed.size(); ++i)
+            mem.write(nodes + Addr(4 * i), fixed[i], 4);
+        const Addr g = *prog.symbol("GRID");
+        for (size_t i = 0; i < grid.size(); ++i) {
+            const Addr root =
+                grid[i] ? grid[i] - 4 + nodes : 0;
+            mem.write(g + Addr(4 * i), root, 4);
+        }
+        const Addr wl = *prog.symbol("WLIST");
+        for (size_t i = 0; i < wlist.size(); ++i)
+            mem.write(wl + Addr(4 * i), wlist[i] - 4 + nodes, 4);
+        mem.write(*prog.symbol("NWL"),
+                  std::uint32_t(wlist.size()), 4);
+        mem.write(*prog.symbol("NCELLS"),
+                  std::uint32_t(grid.size()), 4);
+    };
+
+    // Golden model: evaluate in work-list order (same as grid order).
+    std::int32_t acc = 0;
+    for (Addr root : wlist)
+        acc = acc * 13 + trees.eval(root - 4);
+    w.expected = std::to_string(acc) + "\n";
+    return w;
+}
+
+} // namespace msim::workloads

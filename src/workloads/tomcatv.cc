@@ -1,0 +1,186 @@
+/**
+ * @file
+ * tomcatv analogue (SPECfp92). The paper: "nearly all time is spent
+ * in a loop whose iterations are independent. Accordingly, we achieve
+ * good speedup for 4-unit and 8-unit multiscalar processors. The
+ * higher-issue configurations are stymied because of the contention
+ * on the cache to memory bus."
+ *
+ * A 5-point stencil relaxation over a 36x36 double grid, double
+ * buffered. A task is one interior row: the row pointer is forwarded
+ * at the top and the rows of a sweep are fully independent (they read
+ * the previous sweep's grid), so speedup tracks unit count. Each cell
+ * uses DP adds, multiplies, and a divide, exercising the Table 1
+ * floating point latencies, and the 20 KB of grid traffic exercises
+ * the banked caches and shared bus.
+ */
+
+#include "workloads/workload.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace msim::workloads {
+
+namespace {
+
+constexpr unsigned kN = 36;           //!< grid dimension
+constexpr unsigned kRowBytes = kN * 8;
+constexpr unsigned kSweepsPerScale = 6;
+
+const char *const kSource = R"(
+# ---- tomcatv: 5-point stencil relaxation, one task per row ----
+        .data
+CONSTS:  .double 0.25, 3.0
+NSWEEPS: .word 0
+        .align 3
+GRIDA:  .space 10368              # 36x36 doubles (host-poked)
+GRIDB:  .space 10368              # starts zeroed
+        .text
+
+main:
+        la   $8, CONSTS
+        ldc1 $f20, 0($8)          # 0.25
+        ldc1 $f21, 8($8)          # 3.0
+        la   $16, GRIDA           # source grid
+        la   $17, GRIDB           # destination grid
+        lw   $18, NSWEEPS
+@ms     b    SWEEP            !s
+
+@ms .task main
+@ms .targets SWEEP
+@ms .create $16, $17, $18, $f20, $f21
+@ms .endtask
+
+@ms .task SWEEP
+@ms .targets ROW
+@ms .create $19, $20, $21
+@ms .endtask
+SWEEP:
+        addu $20, $17, 288        # dst row 1
+        subu $19, $16, $17        # src - dst displacement
+        li   $9, 10080
+        addu $21, $17, $9         # dst row 35 (loop bound)
+@ms     b    ROW              !s
+
+@ms .task ROW
+@ms .targets ROW:loop, SWEEPEND
+@ms .create $20
+@ms .endtask
+ROW:
+        addu $20, $20, 288    !f  # next dst row, forwarded early
+        subu $8, $20, 288         # this dst row
+        addu $10, $8, 8           # dst col 1
+        addu $11, $8, 280         # dst col 35 (exclusive)
+ROWCOL:
+        addu $12, $10, $19        # src cell
+        ldc1 $f0, -288($12)       # north
+        ldc1 $f1, 288($12)        # south
+        ldc1 $f2, -8($12)         # west
+        ldc1 $f3, 8($12)          # east
+        ldc1 $f4, 0($12)          # center
+        add.d $f0, $f0, $f1
+        add.d $f2, $f2, $f3
+        add.d $f0, $f0, $f2
+        mul.d $f0, $f0, $f20      # average of the neighbors
+        div.d $f5, $f4, $f21      # damped center contribution
+        add.d $f0, $f0, $f5
+        sdc1 $f0, 0($10)
+        addu $10, $10, 8
+        bne  $10, $11, ROWCOL
+        bne  $20, $21, ROW    !s
+
+@ms .task SWEEPEND
+@ms .targets SWEEP, TDONE
+@ms .create $16, $17, $18
+@ms .endtask
+SWEEPEND:
+        move $9, $16              # swap the grids
+        move $16, $17
+        move $17, $9
+        subu $18, $18, 1
+        bne  $18, $0, SWEEP   !s
+
+@ms .task TDONE
+@ms .endtask
+TDONE:
+        # checksum: truncate 1000 * sum of all cells of the last grid
+        move $8, $16
+        li   $9, 10368
+        addu $9, $8, $9
+        cvt.d.w $f0, $0           # 0.0
+TSUM:
+        ldc1 $f1, 0($8)
+        add.d $f0, $f0, $f1
+        addu $8, $8, 8
+        bne  $8, $9, TSUM
+        li   $10, 1000
+        cvt.d.w $f2, $10
+        mul.d $f0, $f0, $f2
+        cvt.w.d $4, $f0
+        li   $2, 1
+        syscall
+        li   $4, 10
+        li   $2, 11
+        syscall
+        li   $2, 10
+        syscall
+)";
+
+} // namespace
+
+Workload
+makeTomcatv(unsigned scale)
+{
+    fatalIf(scale > 4, "tomcatv workload supports scale <= 4");
+    Workload w;
+    w.name = "tomcatv";
+    w.description = "stencil relaxation, one independent task per row";
+    w.source = kSource;
+
+    const unsigned nsweeps = kSweepsPerScale * scale;
+    // Deterministic initial grid in [0, 1).
+    std::vector<double> grid(size_t(kN) * kN);
+    for (unsigned i = 0; i < kN; ++i) {
+        for (unsigned j = 0; j < kN; ++j)
+            grid[size_t(i) * kN + j] =
+                double((i * 31 + j * 17 + 7) % 101) / 101.0;
+    }
+
+    w.init = [grid, nsweeps](MainMemory &mem, const Program &prog) {
+        mem.write(*prog.symbol("NSWEEPS"), nsweeps, 4);
+        const Addr base = *prog.symbol("GRIDA");
+        for (size_t i = 0; i < grid.size(); ++i) {
+            std::uint64_t bits;
+            static_assert(sizeof(bits) == sizeof(double));
+            std::memcpy(&bits, &grid[i], 8);
+            mem.write(base + Addr(8 * i), bits, 8);
+        }
+    };
+
+    // Golden model (same op order as the assembly).
+    std::vector<double> src = grid, dst(grid.size(), 0.0);
+    for (unsigned s = 0; s < nsweeps; ++s) {
+        for (unsigned i = 1; i < kN - 1; ++i) {
+            for (unsigned j = 1; j < kN - 1; ++j) {
+                const double n = src[size_t(i - 1) * kN + j];
+                const double so = src[size_t(i + 1) * kN + j];
+                const double we = src[size_t(i) * kN + j - 1];
+                const double e = src[size_t(i) * kN + j + 1];
+                const double c = src[size_t(i) * kN + j];
+                dst[size_t(i) * kN + j] =
+                    ((n + so) + (we + e)) * 0.25 + c / 3.0;
+            }
+        }
+        std::swap(src, dst);
+    }
+    double sum = 0.0;
+    for (double v : src)
+        sum += v;
+    w.expected =
+        std::to_string(std::int32_t(sum * 1000.0)) + "\n";
+    return w;
+}
+
+} // namespace msim::workloads

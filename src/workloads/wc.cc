@@ -1,0 +1,172 @@
+/**
+ * @file
+ * wc analogue (GNU textutils wc, used as a benchmark by the IMPACT
+ * group and in the paper's suite): count lines and words in a text
+ * buffer.
+ *
+ * Multiscalar structure: a task processes one fixed 256-byte chunk.
+ * The chunk pointer is a simple induction variable updated and
+ * forwarded at the top of the task, so chunk scans run in parallel.
+ * The in-word flag crossing a chunk boundary and the accumulated
+ * line/word counts are consumed late and produced late, so they
+ * pipeline between tasks without serializing the scans. Word counts
+ * are computed locally as space-to-nonspace transitions, with a
+ * boundary fix-up at the end of the task (subtract one if the chunk
+ * starts inside a word continued from the previous chunk).
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace msim::workloads {
+
+namespace {
+
+constexpr unsigned kChunk = 256;
+constexpr unsigned kChunksPerScale = 96;
+
+const char *const kSource = R"(
+# ---- wc: line/word count over fixed-size chunks ----
+        .data
+NBYTES: .word 0                   # host-poked: text size (chunk mult.)
+TEXT:   .space 49152              # host-poked text
+        .text
+
+main:
+        la   $20, TEXT
+        lw   $9, NBYTES
+        addu $21, $20, $9         # $21 = end of text
+        li   $17, 0               # nlines
+        li   $18, 0               # inword (carried across chunks)
+        li   $19, 0               # nwords
+@ms     b    WCLOOP           !s
+
+@ms .task main
+@ms .targets WCLOOP
+@ms .create $17, $18, $19, $20, $21
+@ms .endtask
+
+@ms .task WCLOOP
+@ms .targets WCLOOP:loop, WCDONE
+@ms .create $17, $18, $19, $20
+@ms .endtask
+
+WCLOOP:
+@ms @def(EARLYV) beq $20, $21, WCDONE !st
+                                  # EARLYV: test the loop exit at the
+                                  # top of the task so a mispredicted
+                                  # extra iteration is recognized
+                                  # within a few cycles instead of
+                                  # after a whole chunk scan
+                                  # (section 3.1.2)
+        addu $20, $20, 256    !f  # chunk pointer, forwarded early
+        subu $8, $20, 256         # $8 = scan pointer
+        li   $9, 0                # local words
+        li   $10, 0               # local lines
+        li   $11, 0               # local inword
+WCCHAR:
+        lbu  $12, 0($8)
+        addu $8, $8, 1
+        li   $13, 10
+        beq  $12, $13, WCNL       # newline
+        slt  $13, $12, 33
+        bne  $13, $0, WCSEP       # c < 33: separator
+        bne  $11, $0, WCNEXT      # already in a word
+        addu $9, $9, 1            # space -> nonspace transition
+        li   $11, 1
+        b    WCNEXT
+WCNL:
+        addu $10, $10, 1
+WCSEP:
+        li   $11, 0
+WCNEXT:
+        bne  $8, $20, WCCHAR
+        # Boundary fix-up: if the chunk starts mid-word (previous
+        # chunk ended in a word and our first char is a word char),
+        # the transition we counted at position 0 was not a new word.
+        subu $12, $20, 256
+        lbu  $12, 0($12)
+        slt  $13, $12, 33
+        bne  $13, $0, WCMERGE     # first char is a separator: no fix
+        beq  $18, $0, WCMERGE     # previous chunk ended outside words
+        subu $9, $9, 1
+WCMERGE:
+        addu $19, $19, $9     !f  # nwords  (late accumulate, forward)
+        addu $17, $17, $10    !f  # nlines
+        move $18, $11         !f  # carry the in-word flag
+@ndef(EARLYV) bne  $20, $21, WCLOOP !s
+@sc @def(EARLYV)  bne  $20, $21, WCLOOP
+@ms @def(EARLYV)  b    WCLOOP     !s
+
+@ms .task WCDONE
+@ms .endtask
+WCDONE:
+        move $4, $17
+        li   $2, 1
+        syscall                   # print line count
+        li   $4, 32
+        li   $2, 11
+        syscall                   # space
+        move $4, $19
+        li   $2, 1
+        syscall                   # print word count
+        li   $4, 10
+        li   $2, 11
+        syscall                   # newline
+        li   $2, 10
+        syscall
+)";
+
+} // namespace
+
+Workload
+makeWc(unsigned scale)
+{
+    fatalIf(scale > 2, "wc workload buffer supports scale <= 2");
+    Workload w;
+    w.name = "wc";
+    w.description = "line/word count, one task per 256-byte chunk";
+    w.source = kSource;
+
+    // Deterministic pseudo-text: words of 1-9 letters separated by
+    // spaces and newlines.
+    const unsigned nbytes = kChunk * kChunksPerScale * scale;
+    std::vector<std::uint8_t> text(nbytes, ' ');
+    Rng rng(777);
+    size_t i = 0;
+    while (i < nbytes) {
+        const unsigned wl = 1 + unsigned(rng.below(9));
+        for (unsigned k = 0; k < wl && i < nbytes; ++k)
+            text[i++] = std::uint8_t('a' + rng.below(26));
+        if (i < nbytes)
+            text[i++] = rng.below(8) == 0 ? '\n' : ' ';
+    }
+
+    w.init = [text, nbytes](MainMemory &mem, const Program &prog) {
+        mem.write(*prog.symbol("NBYTES"), nbytes, 4);
+        mem.writeBytes(*prog.symbol("TEXT"), text.data(), text.size());
+    };
+
+    // Golden model (mirrors the simulated algorithm: c < 33 is a
+    // separator, '\n' also counts a line).
+    unsigned lines = 0, words = 0;
+    bool inword = false;
+    for (std::uint8_t c : text) {
+        if (c == '\n') {
+            ++lines;
+            inword = false;
+        } else if (c < 33) {
+            inword = false;
+        } else if (!inword) {
+            ++words;
+            inword = true;
+        }
+    }
+    w.expected = std::to_string(lines) + " " + std::to_string(words) +
+                 "\n";
+    return w;
+}
+
+} // namespace msim::workloads

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The benchmark workloads.
+ *
+ * Each workload is a multiscalar assembly program (with @ms/@sc
+ * conditional lines so one source yields both the scalar and the
+ * multiscalar binary, exactly like the paper's single multiscalar
+ * binary per benchmark), an input (host-poked memory and/or the
+ * syscall-5 integer stream), and the expected output computed by a
+ * host-side golden model. Simulated output must match the golden
+ * model bit for bit in every configuration — that is the master
+ * correctness check of the whole simulator.
+ *
+ * The ten workloads mirror the paper's benchmark set (section 5.2):
+ * analogues of compress, eqntott, espresso, gcc, sc, xlisp (SPECint92
+ * structure), tomcatv (SPECfp92), cmp and wc (GNU utilities), and the
+ * linked-list example of Figure 3.
+ */
+
+#ifndef MSIM_WORKLOADS_WORKLOAD_HH
+#define MSIM_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mem/main_memory.hh"
+#include "program/program.hh"
+
+namespace msim::workloads {
+
+/** A ready-to-run benchmark. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    /** Assembly source (assemble with multiscalar=true or false). */
+    std::string source;
+    /** Integer stream consumed by syscall 5. */
+    std::deque<std::int32_t> input;
+    /** Host-side data initialization (after program load). */
+    std::function<void(MainMemory &, const Program &)> init;
+    /** Expected program output (host golden model). */
+    std::string expected;
+};
+
+/** Factory signature; scale > 0 scales the input size (1 = default). */
+using WorkloadFactory = Workload (*)(unsigned scale);
+
+/** All registered workloads by name. */
+const std::map<std::string, WorkloadFactory> &registry();
+
+/** Build a workload by name (fatal on unknown names). */
+Workload get(const std::string &name, unsigned scale = 1);
+
+// Individual factories.
+Workload makeExample(unsigned scale);
+Workload makeWc(unsigned scale);
+Workload makeCmp(unsigned scale);
+Workload makeTomcatv(unsigned scale);
+Workload makeEqntott(unsigned scale);
+Workload makeCompress(unsigned scale);
+Workload makeEspresso(unsigned scale);
+Workload makeSc(unsigned scale);
+Workload makeGcc(unsigned scale);
+Workload makeXlisp(unsigned scale);
+
+} // namespace msim::workloads
+
+#endif // MSIM_WORKLOADS_WORKLOAD_HH

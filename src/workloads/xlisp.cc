@@ -1,0 +1,186 @@
+/**
+ * @file
+ * xlisp analogue (SPECint92 li, run on 6 queens in the paper; we use
+ * 7 queens for a longer run). The search is a recursive tree walk —
+ * lisp-style, every recursive step allocates a cons cell from a
+ * shared heap pointer. That allocation is a read-modify-write on one
+ * global, so concurrent tasks violate memory order almost every time:
+ * the paper's observation that xlisp's tasks run near-sequentially
+ * (with the multiscalar overheads then showing as a slowdown) falls
+ * out of the allocation behaviour. Tasks are the first-row branches
+ * of the search, so there are few of them and they are unbalanced.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+
+namespace msim::workloads {
+
+namespace {
+
+constexpr unsigned kQueens = 7;
+
+const char *const kSource = R"(
+# ---- xlisp: recursive n-queens with cons allocation ----
+        .data
+NQ:     .word 0                   # board size (host-poked)
+HEAPP:  .word HEAP                # cons allocation pointer
+HEAP:   .space 131072
+        .text
+
+main:
+        lw   $24, NQ              # N
+        li   $9, 1
+        sllv $25, $9, $24
+        subu $25, $25, 1          # full column mask
+        li   $19, 0               # checksum
+        li   $20, 0               # first-row column index
+@ms     b    XQLOOP           !s
+
+@ms .task main
+@ms .targets XQLOOP
+@ms .create $19, $20, $24, $25
+@ms .endtask
+
+@ms .task XQLOOP
+@ms .targets XQLOOP:loop, XQDONE
+@ms .create $19, $20
+@ms .endtask
+
+XQLOOP:
+        addu $20, $20, 1      !f  # next first-row column
+        subu $8, $20, 1
+        li   $9, 1
+        sllv $12, $9, $8          # first queen bit
+        move $4, $12              # cols
+        sll  $5, $12, 1           # left diagonals
+        srl  $6, $12, 1           # right diagonals
+        jal  SOLVE
+        mul  $9, $19, 3
+        addu $19, $9, $2      !f
+        bne  $20, $24, XQLOOP !s
+
+@ms .task XQDONE
+@ms .endtask
+XQDONE:
+        lw   $8, HEAPP            # include allocation count
+        la   $9, HEAP
+        subu $8, $8, $9
+        srl  $8, $8, 3
+        addu $4, $19, $8
+        li   $2, 1
+        syscall
+        li   $4, 10
+        li   $2, 11
+        syscall
+        li   $2, 10
+        syscall
+
+# SOLVE(cols $4, ld $5, rd $6) -> solution count $2
+SOLVE:
+        beq  $4, $25, QFOUND
+        # allocate a cons cell for this node (serializing global)
+        lw   $9, HEAPP
+        addu $10, $9, 8
+        sw   $10, HEAPP
+        sw   $4, 0($9)
+        sw   $5, 4($9)
+        or   $11, $4, $5
+        or   $11, $11, $6
+        nor  $11, $11, $0
+        and  $11, $11, $25        # free positions
+        beq  $11, $0, QDEAD
+        subu $29, $29, 24
+        sw   $31, 0($29)
+        sw   $16, 4($29)
+        sw   $17, 8($29)
+        sw   $4, 12($29)
+        sw   $5, 16($29)
+        sw   $6, 20($29)
+        move $16, $11             # remaining free bits
+        li   $17, 0               # local count
+QTRY:
+        subu $12, $0, $16
+        and  $12, $12, $16        # lowest free bit
+        xor  $16, $16, $12
+        lw   $4, 12($29)
+        or   $4, $4, $12
+        lw   $5, 16($29)
+        or   $5, $5, $12
+        sll  $5, $5, 1
+        lw   $6, 20($29)
+        or   $6, $6, $12
+        srl  $6, $6, 1
+        jal  SOLVE
+        addu $17, $17, $2
+        bne  $16, $0, QTRY
+        move $2, $17
+        lw   $31, 0($29)
+        lw   $16, 4($29)
+        lw   $17, 8($29)
+        addu $29, $29, 24
+        jr   $31
+QDEAD:
+        li   $2, 0
+        jr   $31
+QFOUND:
+        li   $2, 1
+        jr   $31
+)";
+
+/** Host-side solver mirroring SOLVE (also counts allocations). */
+std::uint32_t
+solve(std::uint32_t cols, std::uint32_t ld, std::uint32_t rd,
+      std::uint32_t full, std::uint64_t &allocs)
+{
+    if (cols == full)
+        return 1;
+    ++allocs;
+    std::uint32_t free_bits = ~(cols | ld | rd) & full;
+    if (free_bits == 0)
+        return 0;
+    std::uint32_t count = 0;
+    while (free_bits) {
+        const std::uint32_t bit = free_bits & (0u - free_bits);
+        free_bits ^= bit;
+        count += solve(cols | bit, ((ld | bit) << 1),
+                       ((rd | bit) >> 1), full, allocs);
+    }
+    return count;
+}
+
+} // namespace
+
+Workload
+makeXlisp(unsigned scale)
+{
+    fatalIf(scale > 1, "xlisp workload supports scale 1");
+    Workload w;
+    w.name = "xlisp";
+    w.description =
+        "recursive n-queens with serializing cons allocation";
+    w.source = kSource;
+
+    const unsigned n = kQueens;
+    w.init = [n](MainMemory &mem, const Program &prog) {
+        mem.write(*prog.symbol("NQ"), n, 4);
+    };
+
+    // Golden model.
+    const std::uint32_t full = (1u << n) - 1;
+    std::uint64_t allocs = 0;
+    std::uint32_t acc = 0;
+    for (unsigned c = 0; c < n; ++c) {
+        const std::uint32_t bit = 1u << c;
+        acc = acc * 3 +
+              solve(bit, bit << 1, bit >> 1, full, allocs);
+    }
+    fatalIf(allocs * 8 > 131072, "xlisp heap overflow");
+    w.expected =
+        std::to_string(std::int32_t(acc + std::uint32_t(allocs))) +
+        "\n";
+    return w;
+}
+
+} // namespace msim::workloads

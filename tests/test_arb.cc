@@ -1,0 +1,285 @@
+/**
+ * @file
+ * ARB tests (paper section 2.3 / Franklin & Sohi): speculative store
+ * buffering, nearest-predecessor load forwarding, memory renaming for
+ * parallel calls, dependence violation detection at byte granularity,
+ * in-order commit, squash, capacity accounting, and a randomized
+ * differential test against a simple sequential memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "arb/arb.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "mem/main_memory.hh"
+
+namespace msim {
+namespace {
+
+class ArbTest : public ::testing::Test
+{
+  protected:
+    ArbTest() : arb_(stats_.group("arb"), mem_, {8, 64, 256}) {}
+
+    StatRegistry stats_;
+    MainMemory mem_;
+    Arb arb_;
+};
+
+TEST_F(ArbTest, LoadFromCommittedMemory)
+{
+    mem_.write(0x1000, 0xcafebabe, 4);
+    EXPECT_EQ(arb_.load(1, 0x1000, 4, true), 0xcafebabeu);
+    EXPECT_EQ(arb_.load(2, 0x1000, 4, false), 0xcafebabeu);
+}
+
+TEST_F(ArbTest, SpeculativeStoreInvisibleUntilCommit)
+{
+    EXPECT_FALSE(arb_.store(2, 0x1000, 4, 0x1111, false).has_value());
+    // Memory is untouched while speculative.
+    EXPECT_EQ(mem_.read(0x1000, 4), 0u);
+    // The storing task sees its own value.
+    EXPECT_EQ(arb_.load(2, 0x1000, 4, false), 0x1111u);
+    // A later task sees the nearest predecessor's value.
+    EXPECT_EQ(arb_.load(3, 0x1000, 4, false), 0x1111u);
+    arb_.commit(2);
+    EXPECT_EQ(mem_.read(0x1000, 4), 0x1111u);
+    // Task 3's load bits stay live until *it* commits.
+    EXPECT_EQ(arb_.totalEntries(), 1u);
+    arb_.commit(3);
+    EXPECT_EQ(arb_.totalEntries(), 0u);
+}
+
+TEST_F(ArbTest, EarlierTaskDoesNotSeeLaterStore)
+{
+    mem_.write(0x2000, 77, 4);
+    arb_.store(5, 0x2000, 4, 99, false);
+    // Task 4 is logically earlier: must see committed memory.
+    EXPECT_EQ(arb_.load(4, 0x2000, 4, false), 77u);
+}
+
+TEST_F(ArbTest, NearestPredecessorWins)
+{
+    arb_.store(2, 0x3000, 4, 22, false);
+    arb_.store(4, 0x3000, 4, 44, false);
+    EXPECT_EQ(arb_.load(5, 0x3000, 4, false), 44u);
+    EXPECT_EQ(arb_.load(3, 0x3000, 4, false), 22u);
+}
+
+TEST_F(ArbTest, ViolationLoadBeforeEarlierStore)
+{
+    // Task 6 loads; task 3 then stores the same bytes: the paper's
+    // memory dependence violation, squash from task 6.
+    arb_.load(6, 0x4000, 4, false);
+    auto violator = arb_.store(3, 0x4000, 4, 5, false);
+    ASSERT_TRUE(violator.has_value());
+    EXPECT_EQ(*violator, 6u);
+}
+
+TEST_F(ArbTest, NoViolationWhenLoadIsAfterStore)
+{
+    arb_.store(3, 0x4000, 4, 5, false);
+    arb_.load(6, 0x4000, 4, false);
+    // A second store by task 3 to the same bytes *does* violate task
+    // 6's load (the load consumed the first value).
+    // But a store by a later task never violates an earlier load.
+    EXPECT_FALSE(arb_.store(7, 0x4000, 4, 9, false).has_value());
+}
+
+TEST_F(ArbTest, OwnStoreShieldsOwnLoad)
+{
+    // Task 6 stores then loads its own value: no load bit is set, so
+    // an earlier store does not squash it (memory renaming).
+    arb_.store(6, 0x5000, 4, 66, false);
+    EXPECT_EQ(arb_.load(6, 0x5000, 4, false), 66u);
+    EXPECT_FALSE(arb_.store(3, 0x5000, 4, 33, false).has_value());
+}
+
+TEST_F(ArbTest, InterveningStoreShadowsViolation)
+{
+    // Task 5 stores, task 6 loads (gets 5's value), then task 3
+    // stores: 6's load was satisfied by 5, not memory, so 3's store
+    // violates nothing.
+    arb_.store(5, 0x6000, 4, 55, false);
+    arb_.load(6, 0x6000, 4, false);
+    EXPECT_FALSE(arb_.store(3, 0x6000, 4, 33, false).has_value());
+}
+
+TEST_F(ArbTest, ByteGranularityAvoidsFalseSharing)
+{
+    // Loads of bytes 0-3 and a store to bytes 4-7 of the same granule
+    // must not conflict (the linked-list example depends on this).
+    arb_.load(6, 0x7000, 4, false);
+    EXPECT_FALSE(arb_.store(3, 0x7004, 4, 5, false).has_value());
+    // Overlapping bytes do conflict.
+    auto violator = arb_.store(3, 0x7002, 4, 5, false);
+    ASSERT_TRUE(violator.has_value());
+    EXPECT_EQ(*violator, 6u);
+}
+
+TEST_F(ArbTest, EarliestViolatorReported)
+{
+    arb_.load(5, 0x8000, 4, false);
+    arb_.load(7, 0x8000, 4, false);
+    auto violator = arb_.store(3, 0x8000, 4, 5, false);
+    ASSERT_TRUE(violator.has_value());
+    EXPECT_EQ(*violator, 5u);
+}
+
+TEST_F(ArbTest, ParallelCallStackRenaming)
+{
+    // Two tasks reuse the same stack addresses (parallel calls,
+    // section 2.3): each sees its own frame.
+    arb_.store(4, 0x7ffffe00, 4, 0x4444, false);
+    arb_.store(5, 0x7ffffe00, 4, 0x5555, false);
+    EXPECT_EQ(arb_.load(4, 0x7ffffe00, 4, false), 0x4444u);
+    EXPECT_EQ(arb_.load(5, 0x7ffffe00, 4, false), 0x5555u);
+    // In-order commit: memory ends with the later task's value.
+    arb_.commit(4);
+    EXPECT_EQ(mem_.read(0x7ffffe00, 4), 0x4444u);
+    arb_.commit(5);
+    EXPECT_EQ(mem_.read(0x7ffffe00, 4), 0x5555u);
+}
+
+TEST_F(ArbTest, SquashDiscardsSpeculativeState)
+{
+    arb_.store(5, 0x9000, 4, 55, false);
+    arb_.load(6, 0x9000, 4, false);
+    arb_.squash(6);
+    arb_.squash(5);
+    EXPECT_EQ(arb_.totalEntries(), 0u);
+    EXPECT_EQ(mem_.read(0x9000, 4), 0u);
+    // After the squash, an earlier store no longer sees 6's load.
+    EXPECT_FALSE(arb_.store(3, 0x9000, 4, 9, false).has_value());
+}
+
+TEST_F(ArbTest, HeadStoreWritesThrough)
+{
+    // A head store with no buffered bytes writes memory directly.
+    EXPECT_FALSE(arb_.store(1, 0xa000, 4, 0xaa, true).has_value());
+    EXPECT_EQ(mem_.read(0xa000, 4), 0xaau);
+    EXPECT_EQ(arb_.totalEntries(), 0u);
+}
+
+TEST_F(ArbTest, HeadStoreStillDetectsViolations)
+{
+    arb_.load(6, 0xb000, 4, false);
+    auto violator = arb_.store(1, 0xb000, 4, 9, true);
+    ASSERT_TRUE(violator.has_value());
+    EXPECT_EQ(*violator, 6u);
+    EXPECT_EQ(mem_.read(0xb000, 4), 9u);
+}
+
+TEST_F(ArbTest, HeadWithBufferedBytesKeepsOrdering)
+{
+    // Task 2 buffers a store while speculative, becomes head, then
+    // stores again: commit must not resurrect the old value.
+    arb_.store(2, 0xc000, 4, 1, false);
+    arb_.store(2, 0xc000, 4, 2, true);  // now head
+    arb_.commit(2);
+    EXPECT_EQ(mem_.read(0xc000, 4), 2u);
+}
+
+TEST_F(ArbTest, SubWordAndDoubleAccesses)
+{
+    arb_.store(2, 0x1100, 1, 0xaa, false);
+    arb_.store(2, 0x1101, 1, 0xbb, false);
+    EXPECT_EQ(arb_.load(2, 0x1100, 2, false), 0xbbaau);
+    // 8-byte store crossing into the next granule boundary.
+    arb_.store(2, 0x1204, 8, 0x1122334455667788ull, false);
+    EXPECT_EQ(arb_.load(3, 0x1204, 8, false), 0x1122334455667788ull);
+    EXPECT_EQ(arb_.load(3, 0x1208, 4, false), 0x11223344u);
+    arb_.commit(2);
+    EXPECT_EQ(mem_.read(0x1204, 8), 0x1122334455667788ull);
+}
+
+TEST_F(ArbTest, PartialOverlapMergesArbAndMemory)
+{
+    mem_.write(0x1300, 0xddccbbaa, 4);
+    arb_.store(2, 0x1301, 1, 0x99, false);
+    EXPECT_EQ(arb_.load(3, 0x1300, 4, false), 0xddcc99aau);
+}
+
+TEST_F(ArbTest, CapacityAccounting)
+{
+    StatRegistry stats;
+    MainMemory mem;
+    Arb small(stats.group("arb"), mem, {1, 64, 2});
+    EXPECT_TRUE(small.hasSpaceFor(2, 0x0, 4, false, false));
+    small.store(2, 0x0, 4, 1, false);
+    small.store(2, 0x100, 4, 1, false);
+    EXPECT_EQ(small.entriesInBank(0), 2u);
+    // Full: a new granule cannot be allocated...
+    EXPECT_FALSE(small.hasSpaceFor(2, 0x200, 4, false, false));
+    // ...but existing granules can take more records,
+    EXPECT_TRUE(small.hasSpaceFor(3, 0x0, 4, false, false));
+    // ...head loads never allocate,
+    EXPECT_TRUE(small.hasSpaceFor(2, 0x200, 4, true, true));
+    // ...and unbuffered head stores write through.
+    EXPECT_TRUE(small.hasSpaceFor(2, 0x200, 4, false, true));
+    // Commit frees the entries.
+    small.commit(2);
+    EXPECT_TRUE(small.hasSpaceFor(3, 0x200, 4, false, false));
+}
+
+TEST_F(ArbTest, CommitOutOfOrderPanics)
+{
+    arb_.store(2, 0x0, 4, 1, false);
+    arb_.store(3, 0x0, 4, 2, false);
+    EXPECT_THROW(arb_.commit(3), PanicError);
+}
+
+// Randomized differential test: a sequence of loads/stores by tasks
+// executing *in logical order* (so no violations) must produce
+// exactly the same values and final memory as a flat memory model.
+TEST_F(ArbTest, RandomizedDifferentialAgainstFlatMemory)
+{
+    Rng rng(31337);
+    std::map<Addr, std::uint8_t> flat;
+    auto flat_read = [&](Addr a, unsigned size) {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < size; ++i) {
+            auto it = flat.find(a + i);
+            v |= std::uint64_t(it == flat.end() ? 0 : it->second)
+                 << (8 * i);
+        }
+        return v;
+    };
+    auto flat_write = [&](Addr a, unsigned size, std::uint64_t v) {
+        for (unsigned i = 0; i < size; ++i)
+            flat[a + i] = std::uint8_t(v >> (8 * i));
+    };
+
+    const unsigned sizes[] = {1, 2, 4, 8};
+    TaskSeq seq = 1;
+    for (unsigned round = 0; round < 50; ++round) {
+        // Each task performs a few operations, in task order.
+        for (unsigned op = 0; op < 20; ++op) {
+            const Addr addr = Addr(0x2000 + rng.below(256));
+            const unsigned size = sizes[rng.below(4)];
+            if (rng.below(2)) {
+                const std::uint64_t v = rng.next();
+                arb_.store(seq, addr, size, v, false);
+                flat_write(addr, size, v);
+            } else {
+                EXPECT_EQ(arb_.load(seq, addr, size, false),
+                          flat_read(addr, size))
+                    << "seq " << seq << " addr " << addr;
+            }
+        }
+        ++seq;
+    }
+    // Commit everything in order; memory must equal the flat model.
+    for (TaskSeq s = 1; s < seq; ++s)
+        arb_.commit(s);
+    EXPECT_EQ(arb_.totalEntries(), 0u);
+    for (const auto &[a, v] : flat)
+        EXPECT_EQ(mem_.read(a, 1), v) << "addr " << a;
+}
+
+} // namespace
+} // namespace msim

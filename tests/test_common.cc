@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RegMask, SatCounter, the
+ * statistics registry, and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/reg_mask.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+
+namespace msim {
+namespace {
+
+TEST(RegMask, BasicSetClearTest)
+{
+    RegMask m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.count(), 0);
+    m.set(4);
+    m.set(63);
+    EXPECT_TRUE(m.test(4));
+    EXPECT_TRUE(m.test(63));
+    EXPECT_FALSE(m.test(5));
+    EXPECT_EQ(m.count(), 2);
+    m.clear(4);
+    EXPECT_FALSE(m.test(4));
+    EXPECT_EQ(m.count(), 1);
+}
+
+TEST(RegMask, TestOutOfRangeIsFalse)
+{
+    RegMask m{1, 2, 3};
+    EXPECT_FALSE(m.test(-1));
+    EXPECT_FALSE(m.test(64));
+}
+
+TEST(RegMask, SetOutOfRangePanics)
+{
+    RegMask m;
+    EXPECT_THROW(m.set(64), PanicError);
+    EXPECT_THROW(m.set(-1), PanicError);
+}
+
+TEST(RegMask, SetOperations)
+{
+    RegMask a{1, 2, 3};
+    RegMask b{3, 4};
+    EXPECT_EQ((a | b), (RegMask{1, 2, 3, 4}));
+    EXPECT_EQ((a & b), (RegMask{3}));
+    EXPECT_EQ((a - b), (RegMask{1, 2}));
+    EXPECT_EQ((b - a), (RegMask{4}));
+}
+
+TEST(RegMask, ToStringUsesIntAndFpNames)
+{
+    RegMask m{4, 20, 35};
+    EXPECT_EQ(m.toString(), "$4,$20,$f3");
+}
+
+TEST(RegMask, InitializerListMatchesSet)
+{
+    RegMask a{7, 8};
+    RegMask b;
+    b.set(7);
+    b.set(8);
+    EXPECT_EQ(a, b);
+}
+
+TEST(SatCounter, SaturatesAtBounds)
+{
+    SatCounter c(2, 0);
+    EXPECT_EQ(c.value(), 0u);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.taken());
+}
+
+TEST(SatCounter, TakenThreshold)
+{
+    SatCounter c(2, 1);
+    EXPECT_FALSE(c.taken());  // 1 of 3
+    c.increment();
+    EXPECT_TRUE(c.taken());   // 2 of 3
+}
+
+TEST(SatCounter, BadWidthPanics)
+{
+    EXPECT_THROW(SatCounter(0), PanicError);
+    EXPECT_THROW(SatCounter(9), PanicError);
+    EXPECT_THROW(SatCounter(2, 4), PanicError);
+}
+
+TEST(Stats, GroupAccumulatesAndFormats)
+{
+    StatRegistry reg;
+    StatGroup &g = reg.group("cache");
+    g.add("hits");
+    g.add("hits", 4);
+    g.set("misses", 7);
+    EXPECT_EQ(g.get("hits"), 5u);
+    EXPECT_EQ(g.get("misses"), 7u);
+    EXPECT_EQ(g.get("absent"), 0u);
+    EXPECT_NE(reg.format().find("cache.hits 5"), std::string::npos);
+}
+
+TEST(Stats, GroupReferencesStayValidAcrossGrowth)
+{
+    StatRegistry reg;
+    StatGroup &first = reg.group("g0");
+    first.add("x");
+    // Create many more groups; the first reference must stay valid.
+    for (int i = 1; i < 100; ++i)
+        reg.group("g" + std::to_string(i)).add("y");
+    first.add("x");
+    EXPECT_EQ(reg.group("g0").get("x"), 2u);
+}
+
+TEST(Stats, SameNameReturnsSameGroup)
+{
+    StatRegistry reg;
+    reg.group("a").add("n");
+    reg.group("a").add("n");
+    EXPECT_EQ(reg.group("a").get("n"), 2u);
+    EXPECT_EQ(reg.groups().size(), 1u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+    EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Logging, FatalAndPanicCarryMessages)
+{
+    try {
+        fatal("bad thing ", 42);
+        FAIL();
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad thing 42"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(panicIf(true, "boom"), PanicError);
+    EXPECT_NO_THROW(panicIf(false, "boom"));
+    EXPECT_NO_THROW(fatalIf(false, "boom"));
+}
+
+} // namespace
+} // namespace msim

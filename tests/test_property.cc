@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Property-based differential testing: randomly generated multiscalar
+ * programs (random ALU bodies, random shared-memory loads and stores,
+ * random cross-task register traffic) must produce exactly the output
+ * of the sequential reference interpreter on every machine shape —
+ * scalar, and multiscalar with varying unit counts, issue disciplines,
+ * ring latencies and ARB capacities. The shared-memory traffic makes
+ * dependence violations (and thus squash/recovery) common, so this
+ * sweeps the hardest paths of the whole machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "asm/assembler.hh"
+#include "common/rng.hh"
+#include "core/multiscalar_processor.hh"
+#include "core/scalar_processor.hh"
+#include "sim/reference.hh"
+
+namespace msim {
+namespace {
+
+/** Generate a random multiscalar program from a seed. */
+std::string
+generateProgram(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::ostringstream os;
+
+    const unsigned iters = 16 + unsigned(rng.below(48));
+    const unsigned body_ops = 4 + unsigned(rng.below(10));
+
+    os << "        .data\n";
+    os << "DATA:   .space 256\n";
+    os << "        .text\n";
+    os << "main:\n";
+    for (int r = 16; r <= 19; ++r)
+        os << "        li   $" << r << ", " << rng.range(-999, 999)
+           << "\n";
+    os << "        li   $20, 0\n";
+    os << "        li   $21, " << iters << "\n";
+    os << "        la   $22, DATA\n";
+    os << "@ms     b    LOOP !s\n";
+    os << "@ms .task main\n";
+    os << "@ms .targets LOOP\n";
+    os << "@ms .create $16, $17, $18, $19, $20, $21, $22\n";
+    os << "@ms .endtask\n";
+
+    // Generate the loop body, tracking which temporaries are defined
+    // (a task must never read an inherited temporary) and the last
+    // writer of each cross-task register (it gets the forward bit).
+    struct Op
+    {
+        std::string text;
+        int crossDest = -1;  // 16..19 when writing a cross register
+    };
+    std::vector<Op> body;
+    bool temp_defined[16] = {};  // $8..$15 -> [8..15]
+    bool cross_written[20] = {};
+
+    auto src_reg = [&]() -> std::string {
+        for (int tries = 0; tries < 8; ++tries) {
+            const unsigned pick = unsigned(rng.below(14));
+            if (pick < 8) {
+                if (temp_defined[8 + pick])
+                    return "$" + std::to_string(8 + pick);
+            } else if (pick < 12) {
+                return "$" + std::to_string(16 + (pick - 8));
+            } else if (pick == 12) {
+                return "$20";
+            } else {
+                return "$0";
+            }
+        }
+        return "$20";
+    };
+
+    for (unsigned i = 0; i < body_ops; ++i) {
+        const unsigned kind = unsigned(rng.below(10));
+        Op op;
+        if (kind < 5) {
+            // ALU: dest is a temp (60%) or a cross register (40%).
+            static const char *ops[] = {"addu", "subu", "xor", "and",
+                                        "or", "slt", "mul"};
+            const char *mn = ops[rng.below(7)];
+            std::string dest;
+            if (rng.below(10) < 6) {
+                const int t = 8 + int(rng.below(8));
+                dest = "$" + std::to_string(t);
+                temp_defined[t] = true;
+            } else {
+                const int c = 16 + int(rng.below(4));
+                dest = "$" + std::to_string(c);
+                op.crossDest = c;
+                cross_written[c] = true;
+            }
+            op.text = "        " + std::string(mn) + " " + dest +
+                      ", " + src_reg() + ", " + src_reg();
+        } else if (kind < 7) {
+            // ALU immediate.
+            const int t = 8 + int(rng.below(8));
+            temp_defined[t] = true;
+            op.text = "        addiu $" + std::to_string(t) + ", " +
+                      src_reg() + ", " +
+                      std::to_string(rng.range(-100, 100));
+        } else if (kind < 9) {
+            // Store to the shared array.
+            const unsigned off = unsigned(rng.below(64)) * 4;
+            op.text = "        sw   " + src_reg() + ", " +
+                      std::to_string(off) + "($22)";
+        } else {
+            // Load from the shared array.
+            const int t = 8 + int(rng.below(8));
+            temp_defined[t] = true;
+            const unsigned off = unsigned(rng.below(64)) * 4;
+            op.text = "        lw   $" + std::to_string(t) + ", " +
+                      std::to_string(off) + "($22)";
+        }
+        body.push_back(op);
+    }
+
+    // Forward bits on the last writer of each cross register.
+    for (int c = 16; c <= 19; ++c) {
+        for (auto it = body.rbegin(); it != body.rend(); ++it) {
+            if (it->crossDest == c) {
+                it->text += " !f";
+                break;
+            }
+        }
+    }
+
+    os << "@ms .task LOOP\n";
+    os << "@ms .targets LOOP:loop, DONE\n";
+    os << "@ms .create $20";
+    for (int c = 16; c <= 19; ++c) {
+        if (cross_written[c])
+            os << ", $" << c;
+    }
+    os << "\n@ms .endtask\n";
+    os << "LOOP:\n";
+    os << "        addu $20, $20, 1 !f\n";
+    for (const Op &op : body)
+        os << op.text << "\n";
+    os << "        bne  $20, $21, LOOP !s\n";
+
+    os << "@ms .task DONE\n";
+    os << "@ms .endtask\n";
+    os << "DONE:\n";
+    // Checksum: fold the cross registers and the shared array.
+    os << "        li   $2, 0\n";
+    for (int c = 16; c <= 19; ++c) {
+        os << "        mul  $2, $2, 31\n";
+        os << "        addu $2, $2, $" << c << "\n";
+    }
+    os << "        move $8, $22\n";
+    os << "        addu $9, $22, 256\n";
+    os << "CHK:    lw   $10, 0($8)\n";
+    os << "        mul  $2, $2, 31\n";
+    os << "        addu $2, $2, $10\n";
+    os << "        addu $8, $8, 4\n";
+    os << "        bne  $8, $9, CHK\n";
+    os << "        move $4, $2\n";
+    os << "        li   $2, 1\n";
+    os << "        syscall\n";
+    os << "        li   $2, 10\n";
+    os << "        syscall\n";
+    return os.str();
+}
+
+class RandomProgram : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomProgram, AllMachinesMatchTheReference)
+{
+    const std::string src =
+        generateProgram(std::uint64_t(GetParam()) * 1099511628211ull +
+                        17);
+
+    assembler::AsmOptions ms_opts;
+    ms_opts.multiscalar = true;
+    Program ms_prog = assembler::assemble(src, ms_opts);
+    assembler::AsmOptions sc_opts;
+    sc_opts.multiscalar = false;
+    Program sc_prog = assembler::assemble(src, sc_opts);
+
+    ReferenceResult ref = referenceRun(sc_prog);
+    ASSERT_TRUE(ref.exited);
+
+    {
+        ScalarProcessor scalar(sc_prog, ScalarConfig{});
+        RunResult r = scalar.run(5'000'000);
+        ASSERT_TRUE(r.exited);
+        EXPECT_EQ(r.output, ref.output) << "scalar\n" << src;
+        EXPECT_EQ(r.instructions, ref.instructions);
+    }
+
+    struct Shape
+    {
+        const char *name;
+        MsConfig cfg;
+    };
+    std::vector<Shape> shapes;
+    {
+        Shape s;
+        s.name = "2-unit";
+        s.cfg.numUnits = 2;
+        shapes.push_back(s);
+    }
+    {
+        Shape s;
+        s.name = "4-unit";
+        s.cfg.numUnits = 4;
+        shapes.push_back(s);
+    }
+    {
+        Shape s;
+        s.name = "8-unit 2-way ooo";
+        s.cfg.numUnits = 8;
+        s.cfg.pu.issueWidth = 2;
+        s.cfg.pu.outOfOrder = true;
+        shapes.push_back(s);
+    }
+    {
+        Shape s;
+        s.name = "4-unit slow ring";
+        s.cfg.numUnits = 4;
+        s.cfg.ringHopLatency = 3;
+        shapes.push_back(s);
+    }
+    {
+        Shape s;
+        s.name = "8-unit tiny arb (stall)";
+        s.cfg.numUnits = 8;
+        s.cfg.arbEntriesPerBank = 2;
+        s.cfg.arbFullPolicy = ArbFullPolicy::kStall;
+        shapes.push_back(s);
+    }
+    {
+        Shape s;
+        s.name = "4-unit tiny arb (squash)";
+        s.cfg.numUnits = 4;
+        s.cfg.arbEntriesPerBank = 2;
+        s.cfg.arbFullPolicy = ArbFullPolicy::kSquash;
+        shapes.push_back(s);
+    }
+
+    for (const Shape &shape : shapes) {
+        MultiscalarProcessor proc(ms_prog, shape.cfg);
+        RunResult r = proc.run(5'000'000);
+        ASSERT_TRUE(r.exited) << shape.name << "\n" << src;
+        EXPECT_EQ(r.output, ref.output) << shape.name << "\n" << src;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram,
+                         ::testing::Range(0, 24));
+
+} // namespace
+} // namespace msim

@@ -1,0 +1,565 @@
+/**
+ * @file
+ * Processing unit tests against a mock context: issue disciplines
+ * (in-order vs out-of-order), FU latencies and structural limits,
+ * branch handling, stop bits and task exit, forward/release
+ * semantics, ring reservations, syscall gating, and squash/flush.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "isa/registers.hh"
+#include "pu/processing_unit.hh"
+#include "pu/pu_context.hh"
+
+namespace msim {
+namespace {
+
+using isa::RegValue;
+
+/** A mock machine environment with instant caches. */
+class MockContext : public PuContext
+{
+  public:
+    explicit MockContext(Program prog) : prog_(std::move(prog)) {}
+
+    const isa::Instruction *
+    instrAt(Addr pc) override
+    {
+        return prog_.instrAt(pc);
+    }
+
+    Cycle
+    icacheAccess(unsigned, Cycle now, Addr) override
+    {
+        return now + 1;
+    }
+
+    Cycle
+    dcacheAccess(unsigned, Cycle now, Addr, bool) override
+    {
+        return now + dcacheLatency;
+    }
+
+    bool
+    memHasSpace(unsigned, Addr, unsigned, bool) override
+    {
+        return memSpace;
+    }
+
+    std::uint64_t
+    memLoad(unsigned, Addr addr, unsigned size) override
+    {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < size; ++i) {
+            auto it = memory.find(addr + i);
+            v |= std::uint64_t(it == memory.end() ? 0 : it->second)
+                 << (8 * i);
+        }
+        return v;
+    }
+
+    void
+    memStore(unsigned, Addr addr, unsigned size,
+             std::uint64_t value) override
+    {
+        for (unsigned i = 0; i < size; ++i)
+            memory[addr + i] = std::uint8_t(value >> (8 * i));
+        storeCount++;
+    }
+
+    void
+    forwardReg(unsigned, RegIndex reg, RegValue value) override
+    {
+        forwards.push_back({reg, value});
+    }
+
+    bool
+    syscallAllowed(unsigned) override
+    {
+        return allowSyscall;
+    }
+
+    RegValue
+    doSyscall(unsigned, RegValue v0, RegValue, RegValue) override
+    {
+        syscallCount++;
+        return v0;
+    }
+
+    void
+    taskExited(unsigned, Addr next) override
+    {
+        exits.push_back(next);
+    }
+
+    Program prog_;
+    std::map<Addr, std::uint8_t> memory;
+    std::vector<std::pair<RegIndex, RegValue>> forwards;
+    std::vector<Addr> exits;
+    unsigned dcacheLatency = 2;
+    bool memSpace = true;
+    bool allowSyscall = true;
+    unsigned storeCount = 0;
+    unsigned syscallCount = 0;
+};
+
+Program
+assembleMs(const std::string &src)
+{
+    assembler::AsmOptions opts;
+    opts.multiscalar = true;
+    return assembler::assemble(src, opts);
+}
+
+/** Harness owning a unit + mock context. */
+struct Rig
+{
+    explicit Rig(const std::string &src, PuConfig config = {})
+        : ctx(assembleMs(src)),
+          pu(0, config, ctx, stats.group("pu0"))
+    {
+    }
+
+    /** Assign the whole program as one task. */
+    void
+    start(RegMask create = {}, RegMask busy = {},
+          std::array<TaskSeq, kNumRegs> producers = {})
+    {
+        std::array<RegValue, kNumRegs> regs{};
+        pu.assignTask(1, ctx.prog_.entry, create, busy, regs.data(),
+                      producers.data());
+    }
+
+    /** Run until the unit is done (or a cycle limit). */
+    Cycle
+    runUntilDone(Cycle limit = 2000)
+    {
+        Cycle now = 0;
+        for (; now < limit; ++now) {
+            pu.tick(now);
+            if (pu.isDone())
+                return now;
+        }
+        return limit;
+    }
+
+    StatRegistry stats;
+    MockContext ctx;
+    ProcessingUnit pu;
+};
+
+TEST(Pu, StraightLineExecutesAndExits)
+{
+    Rig rig(R"(
+        .text
+main:   li   $8, 5
+        addu $9, $8, $8
+        nop  !s
+    )");
+    rig.start();
+    Cycle done = rig.runUntilDone();
+    ASSERT_LT(done, 2000u);
+    EXPECT_EQ(rig.pu.currentTaskStats().instructions, 3u);
+    ASSERT_EQ(rig.ctx.exits.size(), 1u);
+    EXPECT_EQ(rig.ctx.exits[0], rig.ctx.prog_.entry + 3 * 4);
+    EXPECT_EQ(rig.pu.regValues()[9].asWord(), 10u);
+}
+
+TEST(Pu, InOrderStallsOnRaw)
+{
+    // mul (4 cycles) feeds addu: the dependent add must wait.
+    Rig rig(R"(
+        .text
+main:   li   $8, 3
+        mul  $9, $8, $8
+        addu $10, $9, $9
+        nop  !s
+    )");
+    rig.start();
+    rig.runUntilDone();
+    EXPECT_EQ(rig.pu.regValues()[10].asWord(), 18u);
+}
+
+TEST(Pu, OutOfOrderOverlapsIndependentLatency)
+{
+    // div (12 cycles) followed by an independent chain: OoO finishes
+    // sooner than in-order.
+    const char *src = R"(
+        .text
+main:   li   $8, 40
+        li   $9, 5
+        div  $10, $8, $9
+        addu $11, $8, $9
+        addu $12, $11, $9
+        addu $13, $12, $9
+        addu $14, $10, $13    # joins the divide
+        nop  !s
+    )";
+    PuConfig ino;
+    Rig r1(src, ino);
+    r1.start();
+    Cycle t_ino = r1.runUntilDone();
+
+    PuConfig ooo;
+    ooo.outOfOrder = true;
+    Rig r2(src, ooo);
+    r2.start();
+    Cycle t_ooo = r2.runUntilDone();
+
+    EXPECT_EQ(r1.pu.regValues()[14].asWord(), 63u);
+    EXPECT_EQ(r2.pu.regValues()[14].asWord(), 63u);
+    EXPECT_LE(t_ooo, t_ino);
+}
+
+TEST(Pu, DualIssueIsFaster)
+{
+    // Independent adds: 2-way should take roughly half the cycles.
+    std::string body = ".text\nmain:\n";
+    for (int i = 0; i < 16; ++i)
+        body += "  addu $" + std::to_string(8 + (i % 8)) + ", $0, $0\n";
+    body += "  nop !s\n";
+    PuConfig one;
+    Rig r1(body, one);
+    r1.start();
+    Cycle t1 = r1.runUntilDone();
+    PuConfig two;
+    two.issueWidth = 2;
+    Rig r2(body, two);
+    r2.start();
+    Cycle t2 = r2.runUntilDone();
+    EXPECT_LT(t2, t1);
+}
+
+TEST(Pu, TakenBranchRedirectsFetch)
+{
+    Rig rig(R"(
+        .text
+main:   li   $8, 1
+        bne  $8, $0, SKIP
+        li   $9, 111          # must not execute
+SKIP:   li   $10, 5
+        nop  !s
+    )");
+    rig.start();
+    rig.runUntilDone();
+    EXPECT_EQ(rig.pu.regValues()[9].asWord(), 0u);
+    EXPECT_EQ(rig.pu.regValues()[10].asWord(), 5u);
+    EXPECT_EQ(rig.pu.currentTaskStats().instructions, 4u);
+}
+
+TEST(Pu, LoopWithBackwardBranch)
+{
+    Rig rig(R"(
+        .text
+main:   li   $8, 0
+        li   $9, 10
+L:      addu $8, $8, 1
+        bne  $8, $9, L
+        nop  !s
+    )");
+    rig.start();
+    rig.runUntilDone();
+    EXPECT_EQ(rig.pu.regValues()[8].asWord(), 10u);
+    EXPECT_EQ(rig.pu.currentTaskStats().instructions, 23u);
+}
+
+TEST(Pu, JalAndJrWork)
+{
+    Rig rig(R"(
+        .text
+main:   li   $4, 7
+        jal  f
+        move $10, $2
+        nop  !s
+f:      addu $2, $4, $4
+        jr   $31
+    )");
+    rig.start();
+    rig.runUntilDone();
+    EXPECT_EQ(rig.pu.regValues()[10].asWord(), 14u);
+}
+
+TEST(Pu, StopIfTakenAndNotTaken)
+{
+    // !st: the branch exits the task only when taken.
+    Rig rig(R"(
+        .text
+main:   li   $8, 1
+        bne  $8, $0, OUT !st
+        nop
+OUT:    nop
+    )");
+    rig.start();
+    Cycle done = rig.runUntilDone();
+    ASSERT_LT(done, 2000u);
+    ASSERT_EQ(rig.ctx.exits.size(), 1u);
+    EXPECT_EQ(rig.ctx.exits[0],
+              rig.ctx.prog_.symbols.at("OUT"));
+    // Only li + bne executed.
+    EXPECT_EQ(rig.pu.currentTaskStats().instructions, 2u);
+}
+
+TEST(Pu, StopNotTakenFallsThrough)
+{
+    Rig rig(R"(
+        .text
+main:   li   $8, 0
+        bne  $8, $0, ELSEWHERE !sn
+AFTER:  nop
+ELSEWHERE: nop
+    )");
+    rig.start();
+    rig.runUntilDone(500);
+    ASSERT_EQ(rig.ctx.exits.size(), 1u);
+    EXPECT_EQ(rig.ctx.exits[0], rig.ctx.prog_.symbols.at("AFTER"));
+}
+
+TEST(Pu, ForwardBitSendsOnce)
+{
+    RegMask create{20};
+    Rig rig(R"(
+        .text
+main:   addu $20, $20, 4 !f
+        addu $8, $20, 0
+        nop  !s
+    )");
+    rig.start(create);
+    rig.runUntilDone();
+    ASSERT_EQ(rig.ctx.forwards.size(), 1u);
+    EXPECT_EQ(rig.ctx.forwards[0].first, isa::intReg(20));
+    EXPECT_EQ(rig.ctx.forwards[0].second.asWord(), 4u);
+}
+
+TEST(Pu, ReleaseForwardsCurrentValue)
+{
+    RegMask create{8, 9};
+    Rig rig(R"(
+        .text
+main:   li   $8, 77
+        release $8, $9
+        nop  !s
+    )");
+    rig.start(create);
+    rig.runUntilDone();
+    // $8 released with 77; $9 released with its inherited value 0.
+    ASSERT_EQ(rig.ctx.forwards.size(), 2u);
+    EXPECT_EQ(rig.ctx.forwards[0].second.asWord(), 77u);
+}
+
+TEST(Pu, AutoReleaseAtTaskEnd)
+{
+    // $21 is in the create mask but never written: it must still be
+    // forwarded (released) when the task completes.
+    RegMask create{21};
+    Rig rig(R"(
+        .text
+main:   li   $8, 1
+        nop  !s
+    )");
+    rig.start(create);
+    rig.runUntilDone();
+    ASSERT_EQ(rig.ctx.forwards.size(), 1u);
+    EXPECT_EQ(rig.ctx.forwards[0].first, isa::intReg(21));
+    EXPECT_EQ(rig.stats.group("pu0").get("implicitReleases"), 1u);
+}
+
+TEST(Pu, ForwardOutsideCreateMaskPanics)
+{
+    Rig rig(R"(
+        .text
+main:   addu $20, $20, 4 !f
+        nop !s
+    )");
+    rig.start(RegMask{});  // $20 NOT in the create mask
+    EXPECT_THROW(rig.runUntilDone(), PanicError);
+}
+
+TEST(Pu, ReservationBlocksConsumers)
+{
+    // $20 arrives over the ring at cycle 30; the first instruction
+    // needs it.
+    RegMask create{20};
+    RegMask busy{20};
+    std::array<TaskSeq, kNumRegs> producers{};
+    producers[20] = 7;
+    Rig rig(R"(
+        .text
+main:   addu $20, $20, 4 !f
+        nop  !s
+    )");
+    std::array<RegValue, kNumRegs> regs{};
+    rig.pu.assignTask(8, rig.ctx.prog_.entry, create, busy,
+                      regs.data(), producers.data());
+    for (Cycle now = 0; now < 30; ++now)
+        rig.pu.tick(now);
+    EXPECT_EQ(rig.pu.currentTaskStats().instructions, 0u);
+    EXPECT_GT(rig.pu.currentTaskStats().cycles.waitPred, 10u);
+    rig.pu.deliverForward(isa::intReg(20), RegValue::fromWord(100), 7);
+    for (Cycle now = 30; now < 60; ++now)
+        rig.pu.tick(now);
+    EXPECT_TRUE(rig.pu.isDone());
+    ASSERT_EQ(rig.ctx.forwards.size(), 1u);
+    EXPECT_EQ(rig.ctx.forwards[0].second.asWord(), 104u);
+}
+
+TEST(Pu, DeliveryFromWrongProducerIgnored)
+{
+    RegMask busy{20};
+    std::array<TaskSeq, kNumRegs> producers{};
+    producers[20] = 7;
+    Rig rig(R"(
+        .text
+main:   addu $8, $20, 0
+        nop !s
+    )");
+    std::array<RegValue, kNumRegs> regs{};
+    rig.pu.assignTask(8, rig.ctx.prog_.entry, RegMask{}, busy,
+                      regs.data(), producers.data());
+    // A stale message from producer 3 must not satisfy it.
+    rig.pu.deliverForward(isa::intReg(20), RegValue::fromWord(999), 3);
+    for (Cycle now = 0; now < 20; ++now)
+        rig.pu.tick(now);
+    EXPECT_EQ(rig.pu.currentTaskStats().instructions, 0u);
+    rig.pu.deliverForward(isa::intReg(20), RegValue::fromWord(5), 7);
+    for (Cycle now = 20; now < 60; ++now)
+        rig.pu.tick(now);
+    EXPECT_TRUE(rig.pu.isDone());
+    EXPECT_EQ(rig.pu.regValues()[8].asWord(), 5u);
+}
+
+TEST(Pu, LocalWriteShadowsLateDelivery)
+{
+    // The task writes $20 before the (older) ring value arrives: the
+    // ring value must not clobber the newer local value.
+    RegMask create{20};
+    RegMask busy{20};
+    std::array<TaskSeq, kNumRegs> producers{};
+    producers[20] = 7;
+    Rig rig(R"(
+        .text
+main:   li   $20, 42 !f
+        nop  !s
+    )");
+    std::array<RegValue, kNumRegs> regs{};
+    rig.pu.assignTask(8, rig.ctx.prog_.entry, create, busy,
+                      regs.data(), producers.data());
+    for (Cycle now = 0; now < 20; ++now)
+        rig.pu.tick(now);
+    rig.pu.deliverForward(isa::intReg(20), RegValue::fromWord(1), 7);
+    for (Cycle now = 20; now < 40; ++now)
+        rig.pu.tick(now);
+    EXPECT_TRUE(rig.pu.isDone());
+    EXPECT_EQ(rig.pu.regValues()[20].asWord(), 42u);
+}
+
+TEST(Pu, LoadsAndStoresThroughContext)
+{
+    Rig rig(R"(
+        .text
+main:   li   $8, 0x12
+        sw   $8, 0x100($0)
+        lw   $9, 0x100($0)
+        nop  !s
+    )");
+    rig.start();
+    rig.runUntilDone();
+    EXPECT_EQ(rig.ctx.storeCount, 1u);
+    EXPECT_EQ(rig.pu.regValues()[9].asWord(), 0x12u);
+}
+
+TEST(Pu, MemStallWhenArbFull)
+{
+    Rig rig(R"(
+        .text
+main:   li   $8, 1
+        sw   $8, 0x100($0)
+        nop  !s
+    )");
+    rig.ctx.memSpace = false;
+    rig.start();
+    for (Cycle now = 0; now < 50; ++now)
+        rig.pu.tick(now);
+    EXPECT_EQ(rig.ctx.storeCount, 0u);
+    rig.ctx.memSpace = true;
+    EXPECT_LT(rig.runUntilDone(), 2000u);
+    EXPECT_EQ(rig.ctx.storeCount, 1u);
+}
+
+TEST(Pu, SyscallWaitsForPermission)
+{
+    Rig rig(R"(
+        .text
+main:   li   $2, 1
+        li   $4, 9
+        syscall
+        nop  !s
+    )");
+    rig.ctx.allowSyscall = false;
+    rig.start();
+    for (Cycle now = 0; now < 50; ++now)
+        rig.pu.tick(now);
+    EXPECT_EQ(rig.ctx.syscallCount, 0u);
+    rig.ctx.allowSyscall = true;
+    EXPECT_LT(rig.runUntilDone(), 2000u);
+    EXPECT_EQ(rig.ctx.syscallCount, 1u);
+}
+
+TEST(Pu, FlushDiscardsEverything)
+{
+    Rig rig(R"(
+        .text
+main:   li   $8, 1
+L:      addu $8, $8, 1
+        b    L
+    )");
+    rig.start();
+    for (Cycle now = 0; now < 40; ++now)
+        rig.pu.tick(now);
+    TaskStats ts = rig.pu.flush();
+    EXPECT_GT(ts.instructions, 0u);
+    EXPECT_TRUE(rig.pu.isFree());
+    // A fresh task can be assigned after the flush.
+    std::array<RegValue, kNumRegs> regs{};
+    rig.pu.assignTask(9, rig.ctx.prog_.entry, RegMask{}, RegMask{},
+                      regs.data());
+    EXPECT_EQ(rig.pu.seq(), 9u);
+}
+
+TEST(Pu, CycleAccountingAddsUp)
+{
+    Rig rig(R"(
+        .text
+main:   li   $8, 3
+        mul  $9, $8, $8
+        addu $10, $9, $9
+        nop  !s
+    )");
+    rig.start();
+    Cycle done = rig.runUntilDone();
+    const CycleBreakdown &cb = rig.pu.currentTaskStats().cycles;
+    // Every cycle from assignment to completion is classified.
+    EXPECT_EQ(cb.total(), done + 1);
+}
+
+TEST(Pu, BadConfigsRejected)
+{
+    StatRegistry stats;
+    MockContext ctx(assembleMs(".text\nmain: nop !s\n"));
+    PuConfig bad;
+    bad.issueWidth = 3;
+    EXPECT_THROW(ProcessingUnit(0, bad, ctx, stats.group("p")),
+                 FatalError);
+    PuConfig zero;
+    zero.windowSize = 0;
+    EXPECT_THROW(ProcessingUnit(0, zero, ctx, stats.group("p")),
+                 FatalError);
+}
+
+} // namespace
+} // namespace msim

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Task graph analyzer tests: clean programs (including every shipped
+ * workload and its variants) must validate with no issues; programs
+ * with each class of annotation bug must be flagged; the dot renderer
+ * must reflect the declared edges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "program/task_graph.hh"
+#include "sim/runner.hh"
+#include "workloads/workload.hh"
+
+namespace msim {
+namespace {
+
+using Kind = TaskGraphIssue::Kind;
+
+Program
+ms(const std::string &src)
+{
+    assembler::AsmOptions opts;
+    opts.multiscalar = true;
+    return assembler::assemble(src, opts);
+}
+
+bool
+hasIssue(const std::vector<TaskGraphIssue> &issues, Kind kind)
+{
+    for (const auto &i : issues) {
+        if (i.kind == kind)
+            return true;
+    }
+    return false;
+}
+
+const char *const kCleanLoop = R"(
+        .text
+main:   li   $20, 0
+        li   $21, 8
+        b    LOOP !s
+.task main
+.targets LOOP
+.create $20, $21
+.endtask
+.task LOOP
+.targets LOOP:loop, DONE
+.create $20
+.endtask
+LOOP:
+        addu $20, $20, 1 !f
+        bne  $20, $21, LOOP !s
+.task DONE
+.endtask
+DONE:
+        li   $2, 10
+        syscall
+)";
+
+TEST(TaskGraph, CleanProgramValidates)
+{
+    Program p = ms(kCleanLoop);
+    TaskGraph g(p);
+    EXPECT_TRUE(g.validate().empty());
+    ASSERT_EQ(g.nodes().size(), 3u);
+}
+
+TEST(TaskGraph, WalkFindsExitsAndCounts)
+{
+    Program p = ms(kCleanLoop);
+    TaskGraph g(p);
+    const auto &nodes = g.nodes();
+    // Nodes are sorted by address: main, LOOP, DONE.
+    EXPECT_EQ(nodes[0].staticExits.size(), 1u);
+    EXPECT_EQ(nodes[0].staticExits[0], p.symbols.at("LOOP"));
+    // The loop task exits to itself or to DONE.
+    EXPECT_EQ(nodes[1].staticExits.size(), 2u);
+    EXPECT_TRUE(nodes[1].stopReachable);
+    EXPECT_EQ(nodes[1].reachableInstructions, 2u);
+    // DONE is terminal: no stop, no exits.
+    EXPECT_TRUE(nodes[2].staticExits.empty());
+}
+
+TEST(TaskGraph, DetectsUndeclaredExit)
+{
+    // The gcc bug that motivated this analyzer: the loop stop's
+    // fall-through lands on code that is not a declared target.
+    const char *src = R"(
+        .text
+main:   li   $20, 0
+        b    LOOP !s
+.task main
+.targets LOOP
+.create $20
+.endtask
+.task LOOP
+.targets LOOP:loop, DONE
+.create $20
+.endtask
+LOOP:
+        addu $20, $20, 1 !f
+        bne  $20, $0, LOOP !s
+EXTRA:  nop
+.task DONE
+.endtask
+DONE:
+        li   $2, 10
+        syscall
+    )";
+    Program p = ms(src);
+    TaskGraph g(p);
+    EXPECT_TRUE(hasIssue(g.validate(), Kind::kUndeclaredExit));
+}
+
+TEST(TaskGraph, DetectsMissingDescriptor)
+{
+    const char *src = R"(
+        .text
+main:   b    NEXT !s
+.task main
+.targets NEXT
+.endtask
+NEXT:   li   $2, 10
+        syscall
+    )";
+    Program p = ms(src);
+    TaskGraph g(p);
+    EXPECT_TRUE(hasIssue(g.validate(), Kind::kMissingDescriptor));
+}
+
+TEST(TaskGraph, DetectsMissingEntryDescriptor)
+{
+    const char *src = R"(
+        .text
+main:   nop !s
+OTHER:  nop
+.task OTHER
+.endtask
+    )";
+    Program p = ms(src);
+    TaskGraph g(p);
+    EXPECT_TRUE(hasIssue(g.validate(), Kind::kNoEntryDescriptor));
+}
+
+TEST(TaskGraph, DetectsForwardOutsideMask)
+{
+    const char *src = R"(
+        .text
+main:   addu $20, $20, 1 !f
+        nop !s
+.task main
+.targets main:loop
+.endtask
+    )";
+    Program p = ms(src);
+    TaskGraph g(p);
+    EXPECT_TRUE(hasIssue(g.validate(), Kind::kForwardOutsideMask));
+}
+
+TEST(TaskGraph, DetectsReleaseOutsideMask)
+{
+    const char *src = R"(
+        .text
+main:   release $8
+        nop !s
+.task main
+.targets main:loop
+.endtask
+    )";
+    Program p = ms(src);
+    TaskGraph g(p);
+    EXPECT_TRUE(hasIssue(g.validate(), Kind::kReleaseOutsideMask));
+}
+
+TEST(TaskGraph, DetectsMissingReturnSpec)
+{
+    const char *src = R"(
+        .text
+main:   jr   $31 !s
+.task main
+.targets main:loop
+.endtask
+    )";
+    Program p = ms(src);
+    TaskGraph g(p);
+    EXPECT_TRUE(hasIssue(g.validate(), Kind::kMissingReturnSpec));
+}
+
+TEST(TaskGraph, DetectsNoStopReachable)
+{
+    const char *src = R"(
+        .text
+main:   li   $2, 10
+        syscall
+.task main
+.targets main:loop
+.endtask
+    )";
+    Program p = ms(src);
+    TaskGraph g(p);
+    EXPECT_TRUE(hasIssue(g.validate(), Kind::kNoStopReachable));
+}
+
+TEST(TaskGraph, CallReturnWalksThroughFunctions)
+{
+    const char *src = R"(
+        .text
+main:   li   $4, 1
+        jal  helper
+        addu $5, $2, $2
+        nop  !s
+.task main
+.targets DONE
+.create $5
+.endtask
+.task DONE
+.endtask
+DONE:
+        li   $2, 10
+        syscall
+helper: addu $2, $4, $4
+        jr   $31
+    )";
+    Program p = ms(src);
+    TaskGraph g(p);
+    EXPECT_TRUE(g.validate().empty());
+    // The walk followed the call and the return.
+    EXPECT_EQ(g.nodes()[0].reachableInstructions, 6u);
+}
+
+TEST(TaskGraph, DotOutputHasNodesAndEdges)
+{
+    Program p = ms(kCleanLoop);
+    TaskGraph g(p);
+    const std::string dot = g.toDot();
+    EXPECT_NE(dot.find("digraph tasks"), std::string::npos);
+    EXPECT_NE(dot.find("\"main\" -> \"LOOP\""), std::string::npos);
+    EXPECT_NE(dot.find("\"LOOP\" -> \"LOOP\""), std::string::npos);
+    EXPECT_NE(dot.find("label=loop"), std::string::npos);
+}
+
+class WorkloadLint
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(WorkloadLint, EveryShippedWorkloadIsClean)
+{
+    const auto &[name, define] = GetParam();
+    workloads::Workload w = workloads::get(name);
+    std::set<std::string> defines;
+    if (!define.empty())
+        defines.insert(define);
+    Program prog = assembleWorkload(w, true, defines);
+    TaskGraph g(prog);
+    const auto issues = g.validate();
+    for (const auto &issue : issues)
+        ADD_FAILURE() << issue.message;
+}
+
+std::vector<std::tuple<std::string, std::string>>
+lintCases()
+{
+    std::vector<std::tuple<std::string, std::string>> cases;
+    for (const auto &[name, factory] : workloads::registry()) {
+        (void)factory;
+        cases.emplace_back(name, "");
+    }
+    cases.emplace_back("example", "OPTMASK");
+    cases.emplace_back("sc", "SCGRID");
+    cases.emplace_back("gcc", "SYNC");
+    cases.emplace_back("wc", "EARLYV");
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadLint, ::testing::ValuesIn(lintCases()),
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::string, std::string>> &info) {
+        std::string n = std::get<0>(info.param);
+        if (!std::get<1>(info.param).empty())
+            n += "_" + std::get<1>(info.param);
+        return n;
+    });
+
+} // namespace
+} // namespace msim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The master correctness check: every workload must produce its
+ * golden-model output on the scalar machine and on multiscalar
+ * machines of several shapes. A parameterized sweep covers
+ * {workload} x {units} x {issue width} x {order}.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "workloads/workload.hh"
+
+namespace msim {
+namespace {
+
+struct Shape
+{
+    unsigned units;     // 0 = scalar baseline
+    unsigned width;
+    bool ooo;
+};
+
+std::string
+shapeName(const Shape &s)
+{
+    std::string name = s.units == 0 ? "scalar"
+                                    : std::to_string(s.units) + "unit";
+    name += "_" + std::to_string(s.width) + "way";
+    name += s.ooo ? "_ooo" : "_ino";
+    return name;
+}
+
+class WorkloadCorrectness
+    : public ::testing::TestWithParam<std::tuple<std::string, Shape>>
+{
+};
+
+TEST_P(WorkloadCorrectness, MatchesGoldenModel)
+{
+    const auto &[name, shape] = GetParam();
+    workloads::Workload w = workloads::get(name);
+    RunSpec spec;
+    spec.multiscalar = shape.units != 0;
+    spec.ms.numUnits = shape.units ? shape.units : 1;
+    spec.ms.pu.issueWidth = shape.width;
+    spec.ms.pu.outOfOrder = shape.ooo;
+    spec.scalar.pu.issueWidth = shape.width;
+    spec.scalar.pu.outOfOrder = shape.ooo;
+    // runWorkload throws if the output mismatches the golden model.
+    RunResult r = runWorkload(w, spec);
+    EXPECT_TRUE(r.exited);
+    EXPECT_EQ(r.output, w.expected);
+}
+
+const Shape kShapes[] = {
+    {0, 1, false}, {0, 2, true},
+    {2, 1, false},
+    {4, 1, false}, {4, 2, true},
+    {8, 1, false}, {8, 2, false}, {8, 2, true},
+};
+
+std::vector<std::tuple<std::string, Shape>>
+allCases()
+{
+    std::vector<std::tuple<std::string, Shape>> cases;
+    for (const auto &[name, factory] : workloads::registry()) {
+        (void)factory;
+        for (const Shape &s : kShapes)
+            cases.emplace_back(name, s);
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadCorrectness, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::string, Shape>> &info) {
+        return std::get<0>(info.param) + "_" +
+               shapeName(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace msim

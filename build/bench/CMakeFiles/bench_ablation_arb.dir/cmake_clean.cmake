@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_arb.dir/bench_ablation_arb.cc.o"
+  "CMakeFiles/bench_ablation_arb.dir/bench_ablation_arb.cc.o.d"
+  "bench_ablation_arb"
+  "bench_ablation_arb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_arb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_intrabp.dir/bench_ablation_intrabp.cc.o"
+  "CMakeFiles/bench_ablation_intrabp.dir/bench_ablation_intrabp.cc.o.d"
+  "bench_ablation_intrabp"
+  "bench_ablation_intrabp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_intrabp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_software.dir/bench_ablation_software.cc.o"
+  "CMakeFiles/bench_ablation_software.dir/bench_ablation_software.cc.o.d"
+  "bench_ablation_software"
+  "bench_ablation_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linked_list_search.dir/linked_list_search.cpp.o"
+  "CMakeFiles/linked_list_search.dir/linked_list_search.cpp.o.d"
+  "linked_list_search"
+  "linked_list_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linked_list_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_explorer.dir/task_explorer.cpp.o"
+  "CMakeFiles/task_explorer.dir/task_explorer.cpp.o.d"
+  "task_explorer"
+  "task_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_arb.dir/arb.cc.o"
+  "CMakeFiles/msim_arb.dir/arb.cc.o.d"
+  "libmsim_arb.a"
+  "libmsim_arb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_arb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_asm.dir/assembler.cc.o"
+  "CMakeFiles/msim_asm.dir/assembler.cc.o.d"
+  "CMakeFiles/msim_asm.dir/lexer.cc.o"
+  "CMakeFiles/msim_asm.dir/lexer.cc.o.d"
+  "libmsim_asm.a"
+  "libmsim_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

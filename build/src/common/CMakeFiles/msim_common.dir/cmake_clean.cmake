@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_common.dir/reg_mask.cc.o"
+  "CMakeFiles/msim_common.dir/reg_mask.cc.o.d"
+  "CMakeFiles/msim_common.dir/stats.cc.o"
+  "CMakeFiles/msim_common.dir/stats.cc.o.d"
+  "libmsim_common.a"
+  "libmsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

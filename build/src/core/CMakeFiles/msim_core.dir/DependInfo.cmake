@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/multiscalar_processor.cc" "src/core/CMakeFiles/msim_core.dir/multiscalar_processor.cc.o" "gcc" "src/core/CMakeFiles/msim_core.dir/multiscalar_processor.cc.o.d"
+  "/root/repo/src/core/scalar_processor.cc" "src/core/CMakeFiles/msim_core.dir/scalar_processor.cc.o" "gcc" "src/core/CMakeFiles/msim_core.dir/scalar_processor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arb/CMakeFiles/msim_arb.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/msim_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/msim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/msim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/msim_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/msim_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/pu/CMakeFiles/msim_pu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_core.dir/multiscalar_processor.cc.o"
+  "CMakeFiles/msim_core.dir/multiscalar_processor.cc.o.d"
+  "CMakeFiles/msim_core.dir/scalar_processor.cc.o"
+  "CMakeFiles/msim_core.dir/scalar_processor.cc.o.d"
+  "libmsim_core.a"
+  "libmsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_isa.dir/encoding.cc.o"
+  "CMakeFiles/msim_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/msim_isa.dir/exec.cc.o"
+  "CMakeFiles/msim_isa.dir/exec.cc.o.d"
+  "CMakeFiles/msim_isa.dir/instruction.cc.o"
+  "CMakeFiles/msim_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/msim_isa.dir/opcodes.cc.o"
+  "CMakeFiles/msim_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/msim_isa.dir/registers.cc.o"
+  "CMakeFiles/msim_isa.dir/registers.cc.o.d"
+  "libmsim_isa.a"
+  "libmsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

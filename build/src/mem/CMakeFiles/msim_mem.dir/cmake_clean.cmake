@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_mem.dir/main_memory.cc.o"
+  "CMakeFiles/msim_mem.dir/main_memory.cc.o.d"
+  "libmsim_mem.a"
+  "libmsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

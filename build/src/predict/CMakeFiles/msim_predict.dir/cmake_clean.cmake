@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_predict.dir/task_predictor.cc.o"
+  "CMakeFiles/msim_predict.dir/task_predictor.cc.o.d"
+  "libmsim_predict.a"
+  "libmsim_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

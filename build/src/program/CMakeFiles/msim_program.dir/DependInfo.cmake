@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/task_descriptor.cc" "src/program/CMakeFiles/msim_program.dir/task_descriptor.cc.o" "gcc" "src/program/CMakeFiles/msim_program.dir/task_descriptor.cc.o.d"
+  "/root/repo/src/program/task_graph.cc" "src/program/CMakeFiles/msim_program.dir/task_graph.cc.o" "gcc" "src/program/CMakeFiles/msim_program.dir/task_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/msim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/msim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_program.dir/task_descriptor.cc.o"
+  "CMakeFiles/msim_program.dir/task_descriptor.cc.o.d"
+  "CMakeFiles/msim_program.dir/task_graph.cc.o"
+  "CMakeFiles/msim_program.dir/task_graph.cc.o.d"
+  "libmsim_program.a"
+  "libmsim_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_pu.dir/processing_unit.cc.o"
+  "CMakeFiles/msim_pu.dir/processing_unit.cc.o.d"
+  "libmsim_pu.a"
+  "libmsim_pu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_pu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

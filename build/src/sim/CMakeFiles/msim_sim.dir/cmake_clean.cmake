@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_sim.dir/reference.cc.o"
+  "CMakeFiles/msim_sim.dir/reference.cc.o.d"
+  "CMakeFiles/msim_sim.dir/runner.cc.o"
+  "CMakeFiles/msim_sim.dir/runner.cc.o.d"
+  "libmsim_sim.a"
+  "libmsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

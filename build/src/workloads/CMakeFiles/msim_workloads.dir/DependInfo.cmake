@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cmp.cc" "src/workloads/CMakeFiles/msim_workloads.dir/cmp.cc.o" "gcc" "src/workloads/CMakeFiles/msim_workloads.dir/cmp.cc.o.d"
+  "/root/repo/src/workloads/compress.cc" "src/workloads/CMakeFiles/msim_workloads.dir/compress.cc.o" "gcc" "src/workloads/CMakeFiles/msim_workloads.dir/compress.cc.o.d"
+  "/root/repo/src/workloads/eqntott.cc" "src/workloads/CMakeFiles/msim_workloads.dir/eqntott.cc.o" "gcc" "src/workloads/CMakeFiles/msim_workloads.dir/eqntott.cc.o.d"
+  "/root/repo/src/workloads/espresso.cc" "src/workloads/CMakeFiles/msim_workloads.dir/espresso.cc.o" "gcc" "src/workloads/CMakeFiles/msim_workloads.dir/espresso.cc.o.d"
+  "/root/repo/src/workloads/example.cc" "src/workloads/CMakeFiles/msim_workloads.dir/example.cc.o" "gcc" "src/workloads/CMakeFiles/msim_workloads.dir/example.cc.o.d"
+  "/root/repo/src/workloads/gcc.cc" "src/workloads/CMakeFiles/msim_workloads.dir/gcc.cc.o" "gcc" "src/workloads/CMakeFiles/msim_workloads.dir/gcc.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/msim_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/msim_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/sc.cc" "src/workloads/CMakeFiles/msim_workloads.dir/sc.cc.o" "gcc" "src/workloads/CMakeFiles/msim_workloads.dir/sc.cc.o.d"
+  "/root/repo/src/workloads/tomcatv.cc" "src/workloads/CMakeFiles/msim_workloads.dir/tomcatv.cc.o" "gcc" "src/workloads/CMakeFiles/msim_workloads.dir/tomcatv.cc.o.d"
+  "/root/repo/src/workloads/wc.cc" "src/workloads/CMakeFiles/msim_workloads.dir/wc.cc.o" "gcc" "src/workloads/CMakeFiles/msim_workloads.dir/wc.cc.o.d"
+  "/root/repo/src/workloads/xlisp.cc" "src/workloads/CMakeFiles/msim_workloads.dir/xlisp.cc.o" "gcc" "src/workloads/CMakeFiles/msim_workloads.dir/xlisp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/msim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/msim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/msim_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/msim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_workloads.dir/cmp.cc.o"
+  "CMakeFiles/msim_workloads.dir/cmp.cc.o.d"
+  "CMakeFiles/msim_workloads.dir/compress.cc.o"
+  "CMakeFiles/msim_workloads.dir/compress.cc.o.d"
+  "CMakeFiles/msim_workloads.dir/eqntott.cc.o"
+  "CMakeFiles/msim_workloads.dir/eqntott.cc.o.d"
+  "CMakeFiles/msim_workloads.dir/espresso.cc.o"
+  "CMakeFiles/msim_workloads.dir/espresso.cc.o.d"
+  "CMakeFiles/msim_workloads.dir/example.cc.o"
+  "CMakeFiles/msim_workloads.dir/example.cc.o.d"
+  "CMakeFiles/msim_workloads.dir/gcc.cc.o"
+  "CMakeFiles/msim_workloads.dir/gcc.cc.o.d"
+  "CMakeFiles/msim_workloads.dir/registry.cc.o"
+  "CMakeFiles/msim_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/msim_workloads.dir/sc.cc.o"
+  "CMakeFiles/msim_workloads.dir/sc.cc.o.d"
+  "CMakeFiles/msim_workloads.dir/tomcatv.cc.o"
+  "CMakeFiles/msim_workloads.dir/tomcatv.cc.o.d"
+  "CMakeFiles/msim_workloads.dir/wc.cc.o"
+  "CMakeFiles/msim_workloads.dir/wc.cc.o.d"
+  "CMakeFiles/msim_workloads.dir/xlisp.cc.o"
+  "CMakeFiles/msim_workloads.dir/xlisp.cc.o.d"
+  "libmsim_workloads.a"
+  "libmsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arb.dir/test_arb.cc.o"
+  "CMakeFiles/test_arb.dir/test_arb.cc.o.d"
+  "test_arb"
+  "test_arb.pdb"
+  "test_arb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

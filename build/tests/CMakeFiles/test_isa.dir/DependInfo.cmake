@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/test_isa.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/test_isa.dir/test_isa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/msim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/msim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/msim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/arb/CMakeFiles/msim_arb.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/msim_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/pu/CMakeFiles/msim_pu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/msim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/msim_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/msim_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/msim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pu.dir/test_pu.cc.o"
+  "CMakeFiles/test_pu.dir/test_pu.cc.o.d"
+  "test_pu"
+  "test_pu.pdb"
+  "test_pu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

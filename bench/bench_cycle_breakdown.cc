@@ -3,13 +3,20 @@
  * Reproduces the section 3 analysis: the distribution of the
  * available processing unit cycles in multiscalar execution — useful
  * computation, non-useful (squashed) computation, no-computation
- * cycles (split into waiting for predecessor values, intra-task
- * latency, fetch stalls and waiting for retirement), and idle cycles
- * (no assigned task). Reported for the 8-unit, 1-way, in-order
- * configuration as percentages of all unit-cycles.
+ * cycles (split into waiting for predecessor values over the ring,
+ * waiting on memory, intra-task latency, fetch stalls and waiting for
+ * retirement), and idle cycles (no assigned task). Reported for the
+ * 8-unit, 1-way, in-order configuration as percentages of all
+ * unit-cycles.
+ *
+ * The numbers come from the exact cycle-accounting subsystem
+ * (src/trace/cycle_accounting.hh): every unit-cycle is classified
+ * into exactly one category, so each row sums to 100% by
+ * construction. The sum invariant is re-verified here per workload.
  */
 
 #include "bench/bench_common.hh"
+#include "trace/cycle_accounting.hh"
 
 namespace {
 
@@ -34,22 +41,56 @@ report()
 {
     std::printf("\nSection 3: distribution of unit cycles "
                 "(8-unit, 1-way, in-order; %% of all unit-cycles)\n");
-    std::printf("%-10s %7s %8s %9s %9s %8s %9s %6s\n", "Program",
-                "useful", "nonuse", "waitPred", "waitIntra", "fetch",
-                "waitRet", "idle");
+    std::printf("%-10s %7s %8s %9s %8s %9s %8s %9s %6s\n", "Program",
+                "useful", "squash", "ringWait", "memWait", "intra",
+                "fetch", "waitRet", "idle");
     for (const std::string &name : kPaperOrder) {
         const auto &r = cache().at("breakdown/" + name);
-        const double total = double(r.cycles) * kUnits;
-        auto pct = [&](std::uint64_t v) {
-            return 100.0 * double(v) / total;
+        const CycleAccountingResult &a = r.accounting;
+        const std::uint64_t expect =
+            std::uint64_t(r.cycles) * a.numUnits;
+        if (a.sum() != expect) {
+            std::fprintf(stderr,
+                         "%s: accounting broken: categories sum to "
+                         "%llu, expected cycles x units = %llu\n",
+                         name.c_str(),
+                         (unsigned long long)a.sum(),
+                         (unsigned long long)expect);
+            std::exit(1);
+        }
+        auto pct = [&](CycleCat c) {
+            return 100.0 * double(a[c]) / double(expect);
         };
-        const auto &u = r.usefulCycles;
         std::printf(
-            "%-10s %6.1f%% %7.1f%% %8.1f%% %8.1f%% %7.1f%% %8.1f%% "
-            "%5.1f%%\n",
-            name.c_str(), pct(u.busy), pct(r.squashedCycles.total()),
-            pct(u.waitPred), pct(u.waitIntra), pct(u.fetchStall),
-            pct(u.waitRetire), pct(r.idleCycles));
+            "%-10s %6.1f%% %7.1f%% %8.1f%% %7.1f%% %8.1f%% %7.1f%% "
+            "%8.1f%% %5.1f%%\n",
+            name.c_str(), pct(CycleCat::kBusy), pct(CycleCat::kSquashed),
+            pct(CycleCat::kRingWait), pct(CycleCat::kMemWait),
+            pct(CycleCat::kIntraWait), pct(CycleCat::kFetchStall),
+            pct(CycleCat::kRetireWait), pct(CycleCat::kIdle));
+    }
+    std::printf("\nEvery row sums to 100%%: the accounting classifies "
+                "each unit-cycle exactly once.\n");
+
+    // Per-unit view for one representative workload: load balance
+    // across the circular unit queue.
+    const auto &r = cache().at("breakdown/compress");
+    std::printf("\ncompress, per unit (%% of that unit's cycles):\n");
+    std::printf("%-6s %7s %8s %9s %8s %9s %8s %9s %6s\n", "Unit",
+                "useful", "squash", "ringWait", "memWait", "intra",
+                "fetch", "waitRet", "idle");
+    for (unsigned u = 0; u < r.accounting.numUnits; ++u) {
+        const auto &pu = r.accounting.perUnit[u];
+        auto pct = [&](CycleCat c) {
+            return 100.0 * double(pu[size_t(c)]) / double(r.cycles);
+        };
+        std::printf(
+            "pu%-4u %6.1f%% %7.1f%% %8.1f%% %7.1f%% %8.1f%% %7.1f%% "
+            "%8.1f%% %5.1f%%\n",
+            u, pct(CycleCat::kBusy), pct(CycleCat::kSquashed),
+            pct(CycleCat::kRingWait), pct(CycleCat::kMemWait),
+            pct(CycleCat::kIntraWait), pct(CycleCat::kFetchStall),
+            pct(CycleCat::kRetireWait), pct(CycleCat::kIdle));
     }
 }
 

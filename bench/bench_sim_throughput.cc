@@ -4,9 +4,20 @@
  * per host second each machine model achieves. This is the one bench
  * where google-benchmark's statistical repetition is meaningful, so
  * cells run with normal iteration counts.
+ *
+ * The binary also guards the tracing fast path: after the benchmark
+ * cells it times runs with tracing disabled against runs with tracing
+ * enabled into a null sink, and fails (exit 1) when the disabled
+ * configuration is more than 5% slower — i.e. when instrumentation
+ * stops being free for non-tracing users.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
 
 #include "sim/runner.hh"
 #include "workloads/workload.hh"
@@ -52,13 +63,107 @@ simMultiscalar(benchmark::State &state)
         double(cycles), benchmark::Counter::kIsRate);
 }
 
+void
+simMultiscalarTracedNull(benchmark::State &state)
+{
+    workloads::Workload w = workloads::get("wc");
+    RunSpec spec;
+    spec.multiscalar = true;
+    spec.ms.numUnits = unsigned(state.range(0));
+    spec.trace.enabled = true;
+    spec.trace.sink = "null";
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        RunResult r = runWorkload(w, spec);
+        cycles += r.cycles;
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+}
+
 BENCHMARK(simScalar)->Unit(benchmark::kMillisecond);
 BENCHMARK(simMultiscalar)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(simMultiscalarTracedNull)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/** Wall time of one full run of wc under @p spec. */
+double
+runSeconds(const workloads::Workload &w, const RunSpec &spec)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    runWorkload(w, spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double
+median(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+}
+
+/**
+ * The fast-path guard: with tracing disabled the simulator must run
+ * at least as fast (within 5% noise) as with tracing enabled into a
+ * null sink. A regression here means the disabled path started doing
+ * per-event work. The two configurations are measured interleaved so
+ * slow host-speed drift affects both medians equally.
+ */
+int
+checkDisabledFastPath()
+{
+    RunSpec off;
+    off.multiscalar = true;
+    off.ms.numUnits = 8;
+
+    RunSpec null_sink = off;
+    null_sink.trace.enabled = true;
+    null_sink.trace.sink = "null";
+
+    workloads::Workload w = workloads::get("wc");
+    constexpr int kReps = 7;
+    // Warm up icache/allocator state with one run of each.
+    runSeconds(w, off);
+    runSeconds(w, null_sink);
+    std::vector<double> off_times, null_times;
+    for (int i = 0; i < kReps; ++i) {
+        off_times.push_back(runSeconds(w, off));
+        null_times.push_back(runSeconds(w, null_sink));
+    }
+    const double t_off = median(off_times);
+    const double t_null = median(null_times);
+
+    std::printf("\nTracing fast-path guard (wc, 8 units, median of "
+                "%d runs):\n", kReps);
+    std::printf("  tracing disabled:     %8.3f ms\n", t_off * 1e3);
+    std::printf("  tracing to null sink: %8.3f ms\n", t_null * 1e3);
+    std::printf("  ratio disabled/null:  %8.3f (must be <= 1.05)\n",
+                t_off / t_null);
+    if (t_off > t_null * 1.05) {
+        std::fprintf(stderr,
+                     "FAIL: tracing-disabled runs are more than 5%% "
+                     "slower than null-sink tracing\n");
+        return 1;
+    }
+    std::printf("  OK\n");
+    return 0;
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return checkDisabledFastPath();
+}

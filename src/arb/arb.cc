@@ -6,8 +6,10 @@
 
 namespace msim {
 
-Arb::Arb(StatGroup &stats, MainMemory &mem, const Params &params)
-    : stats_(stats), mem_(mem), params_(params), banks_(params.numBanks)
+Arb::Arb(StatGroup &stats, MainMemory &mem, const Params &params,
+         Tracer *tracer)
+    : stats_(stats), mem_(mem), params_(params), tracer_(tracer),
+      banks_(params.numBanks)
 {
     fatalIf(params.numBanks == 0, "ARB needs at least one bank");
     fatalIf(params.entriesPerBank == 0, "ARB needs at least one entry");
@@ -175,8 +177,14 @@ Arb::store(TaskSeq seq, Addr addr, unsigned size, std::uint64_t value,
     });
 
     stats_.add("stores");
-    if (violator)
+    if (violator) {
         stats_.add("violations");
+        if (tracer_ && tracer_->wants(TraceCat::kArb)) {
+            tracer_->instant(TraceCat::kArb, "violation",
+                             tracer_->now(), kTidArb, "addr", addr,
+                             "violated_seq", *violator);
+        }
+    }
     return violator;
 }
 

@@ -42,6 +42,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/main_memory.hh"
+#include "trace/tracer.hh"
 
 namespace msim {
 
@@ -56,7 +57,8 @@ class Arb
         unsigned entriesPerBank = 256;
     };
 
-    Arb(StatGroup &stats, MainMemory &mem, const Params &params);
+    Arb(StatGroup &stats, MainMemory &mem, const Params &params,
+        Tracer *tracer = nullptr);
 
     /**
      * Would a load/store of @p size bytes at @p addr by task @p seq
@@ -139,6 +141,7 @@ class Arb
     StatGroup &stats_;
     MainMemory &mem_;
     Params params_;
+    Tracer *tracer_ = nullptr;
     std::vector<Bank> banks_;
 
     /** Find (or conditionally create) the record for seq in entry. */

@@ -10,6 +10,11 @@ StatGroup::format() const
     std::ostringstream os;
     for (const auto &[stat, value] : scalars_)
         os << name_ << "." << stat << " " << value << "\n";
+    for (const auto &[dist, buckets] : dists_) {
+        for (const auto &[bucket, value] : buckets)
+            os << name_ << "." << dist << "." << bucket << " " << value
+               << "\n";
+    }
     return os.str();
 }
 

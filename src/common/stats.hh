@@ -54,15 +54,54 @@ class StatGroup
         return scalars_;
     }
 
-    /** Reset all counters to zero. */
-    void reset() { scalars_.clear(); }
+    /** Add @p delta to bucket @p bucket of distribution @p dist. */
+    void
+    addToDist(const std::string &dist, const std::string &bucket,
+              std::uint64_t delta = 1)
+    {
+        dists_[dist][bucket] += delta;
+    }
 
-    /** Render "group.stat value" lines. */
+    /** @return the value of one distribution bucket (0 when absent). */
+    std::uint64_t
+    getDist(const std::string &dist, const std::string &bucket) const
+    {
+        auto it = dists_.find(dist);
+        if (it == dists_.end())
+            return 0;
+        auto jt = it->second.find(bucket);
+        return jt == it->second.end() ? 0 : jt->second;
+    }
+
+    /** @return all distributions in name order. */
+    const std::map<std::string, std::map<std::string, std::uint64_t>> &
+    dists() const
+    {
+        return dists_;
+    }
+
+    /**
+     * Reset every counter to zero in place: the set of registered
+     * stat names survives so post-reset reports keep their rows.
+     */
+    void
+    reset()
+    {
+        for (auto &[stat, value] : scalars_)
+            value = 0;
+        for (auto &[dist, buckets] : dists_) {
+            for (auto &[bucket, value] : buckets)
+                value = 0;
+        }
+    }
+
+    /** Render "group.stat value" lines (then distribution buckets). */
     std::string format() const;
 
   private:
     std::string name_;
     std::map<std::string, std::uint64_t> scalars_;
+    std::map<std::string, std::map<std::string, std::uint64_t>> dists_;
 };
 
 /** A registry of stat groups owned by a processor instance. */

@@ -17,6 +17,7 @@
 #include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "pu/pu_config.hh"
+#include "trace/trace_config.hh"
 
 namespace msim {
 
@@ -53,6 +54,9 @@ struct MsConfig
     unsigned descCacheEntries = 1024;
 
     MemoryBus::Params bus;
+
+    /** Event tracing (off by default; see src/trace/). */
+    TraceConfig trace;
 
     /** @return the effective number of data banks. */
     unsigned

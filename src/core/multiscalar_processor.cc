@@ -12,30 +12,51 @@ namespace msim {
 
 MultiscalarProcessor::MultiscalarProcessor(const Program &program,
                                            const MsConfig &config)
-    : program_(program), config_(config)
+    : program_(program), config_(config), acct_(config.numUnits)
 {
     fatalIf(config.numUnits == 0, "need at least one processing unit");
     mem_.loadProgram(program);
     coreStats_ = &stats_.group("core");
-    bus_ = std::make_unique<MemoryBus>(stats_.group("bus"), config.bus);
+    if (config.trace.enabled) {
+        tracer_ = std::make_unique<Tracer>(config.trace);
+        tracer_->threadName(kTidSequencer, "sequencer");
+        tracer_->threadName(kTidBus, "bus");
+        tracer_->threadName(kTidRing, "ring");
+        tracer_->threadName(kTidArb, "arb");
+        for (unsigned u = 0; u < config.numUnits; ++u) {
+            tracer_->threadName(u, "pu" + std::to_string(u));
+            tracer_->threadName(kTidIcacheBase + u,
+                                "icache" + std::to_string(u));
+        }
+        for (unsigned b = 0; b < config.effectiveBanks(); ++b) {
+            tracer_->threadName(kTidDcacheBase + b,
+                                "dcache" + std::to_string(b));
+        }
+    }
+    Tracer *tracer = tracer_.get();
+    bus_ = std::make_unique<MemoryBus>(stats_.group("bus"), config.bus,
+                                       tracer);
     for (unsigned u = 0; u < config.numUnits; ++u) {
         icaches_.push_back(std::make_unique<Cache>(
             stats_.group("icache" + std::to_string(u)), *bus_,
-            config.icache));
+            config.icache, tracer, kTidIcacheBase + u));
     }
     dcache_ = std::make_unique<BankedDataCache>(
         stats_, *bus_,
         BankedDataCache::Params{config.effectiveBanks(),
                                 config.bankSizeBytes, config.blockBytes,
-                                config.dcacheHitLatency});
+                                config.dcacheHitLatency},
+        tracer);
     arb_ = std::make_unique<Arb>(
         stats_.group("arb"), mem_,
         Arb::Params{config.effectiveBanks(), config.blockBytes,
-                    config.arbEntriesPerBank});
+                    config.arbEntriesPerBank},
+        tracer);
     ring_ = std::make_unique<ForwardRing>(stats_.group("ring"),
                                           config.numUnits,
                                           config.pu.issueWidth,
-                                          config.ringHopLatency);
+                                          config.ringHopLatency,
+                                          tracer);
     predictor_ = makeTaskPredictor(config.predictor);
     ras_ = std::make_unique<ReturnStack>(config.rasEntries);
     descCache_ = std::make_unique<DescriptorCache>(
@@ -53,7 +74,8 @@ MultiscalarProcessor::MultiscalarProcessor(const Program &program,
         program.heapStart);
     for (unsigned u = 0; u < config.numUnits; ++u) {
         units_.push_back(std::make_unique<ProcessingUnit>(
-            u, config.pu, *this, stats_.group("pu" + std::to_string(u))));
+            u, config.pu, *this, stats_.group("pu" + std::to_string(u)),
+            &acct_, tracer));
     }
     taskInfo_.resize(config.numUnits);
 }
@@ -120,6 +142,10 @@ MultiscalarProcessor::memHasSpace(unsigned unit, Addr addr, unsigned size,
                                       unitIsHead(unit));
     if (!ok) {
         coreStats_->add("arbFullStalls");
+        if (tracer_ && tracer_->wants(TraceCat::kArb)) {
+            tracer_->instant(TraceCat::kArb, "arb_full", tracer_->now(),
+                             kTidArb, "unit", unit, "addr", addr);
+        }
         if (config_.arbFullPolicy == ArbFullPolicy::kSquash)
             arbFullEvent_ = true;
     }
@@ -231,6 +257,15 @@ MultiscalarProcessor::squashFrom(TaskSeq from, const char *reason)
         result_.squashedInstructions += ts.instructions;
         result_.squashedCycles += ts.cycles;
         result_.tasksSquashed += 1;
+        acct_.squashTask(tail_unit);
+        if (tracer_ && tracer_->wants(TraceCat::kTask)) {
+            // Sinks stream synchronously, so a temporary name is safe.
+            tracer_->instant(TraceCat::kTask,
+                             std::string("squash_") + reason,
+                             tracer_->now(), tail_unit, "seq",
+                             taskInfo_[tail_unit].seq);
+            tracer_->end(TraceCat::kTask, tracer_->now(), tail_unit);
+        }
         arb_->squash(taskInfo_[tail_unit].seq);
         taskInfo_[tail_unit] = ActiveTask{};
         --numActive_;
@@ -352,13 +387,19 @@ MultiscalarProcessor::deferredPhase(Cycle)
 }
 
 void
-MultiscalarProcessor::retirePhase(Cycle)
+MultiscalarProcessor::retirePhase(Cycle now)
 {
     if (numActive_ == 0)
         return;
     const unsigned head_unit = unitAt(0);
     if (!pu(head_unit).isDone())
         return;
+    acct_.commitTask(head_unit);
+    if (tracer_ && tracer_->wants(TraceCat::kTask)) {
+        tracer_->instant(TraceCat::kTask, "retire", now, head_unit,
+                         "seq", taskInfo_[head_unit].seq);
+        tracer_->end(TraceCat::kTask, now, head_unit);
+    }
     arb_->commit(taskInfo_[head_unit].seq);
     // Architectural register state advances by the values this task
     // forwarded (a done task has forwarded its whole create mask).
@@ -458,6 +499,16 @@ MultiscalarProcessor::assignPhase(Cycle now)
     ++numActive_;
     descFetchAddr_ = kBadAddr;
     coreStats_->add("assignments");
+    if (tracer_ && tracer_->wants(TraceCat::kTask)) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "task@0x%x", unsigned(addr));
+        tracer_->begin(TraceCat::kTask, name, now, unit, "seq",
+                       info.seq, "pred", info.predictedNext);
+    }
+    if (tracer_ && tracer_->wants(TraceCat::kSeq)) {
+        tracer_->instant(TraceCat::kSeq, "assign", now, kTidSequencer,
+                         "unit", unit, "seq", info.seq);
+    }
 
     // The walk moves past this task: everything it may create is now
     // pending on it.
@@ -506,16 +557,25 @@ MultiscalarProcessor::run(Cycle max_cycles)
     nextTaskAddr_ = program_.entry;
 
     Cycle now = 0;
+    Cycle cycles_done = 0;
     std::uint64_t last_progress = 0;
     Cycle last_progress_cycle = 0;
     for (; now < max_cycles; ++now) {
+        if (tracer_)
+            tracer_->setNow(now);
+        acct_.beginCycle();
         ringPhase(now);
         unitsPhase(now);
-        if (syscalls_->exited())
+        if (syscalls_->exited()) {
+            acct_.endCycle();
+            ++cycles_done;
             break;
+        }
         deferredPhase(now);
         retirePhase(now);
         assignPhase(now);
+        acct_.endCycle();
+        ++cycles_done;
         result_.idleCycles += config_.numUnits - numActive_;
 
         const std::uint64_t progress =
@@ -555,16 +615,25 @@ MultiscalarProcessor::run(Cycle max_cycles)
             result_.instructions += ts.instructions;
             result_.usefulCycles += ts.cycles;
             result_.tasksRetired += 1;
+            acct_.commitTask(unit);
         } else {
             result_.squashedInstructions += ts.instructions;
             result_.squashedCycles += ts.cycles;
             result_.tasksSquashed += 1;
+            acct_.squashTask(unit);
         }
     }
 
-    result_.cycles = now + 1;
+    result_.cycles = cycles_done;
     result_.exited = syscalls_->exited();
     result_.output = syscalls_->output();
+    result_.accounting = acct_.finish(cycles_done);
+    acct_.exportStats(stats_.group("cycles"));
+    if (tracer_) {
+        tracer_->flush();
+        coreStats_->add("traceEvents", tracer_->recorded());
+        coreStats_->add("traceDropped", tracer_->dropped());
+    }
     return result_;
 }
 

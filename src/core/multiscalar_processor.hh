@@ -55,6 +55,8 @@
 #include "pu/pu_context.hh"
 #include "ring/forward_ring.hh"
 #include "sim/syscalls.hh"
+#include "trace/cycle_accounting.hh"
+#include "trace/tracer.hh"
 
 namespace msim {
 
@@ -147,6 +149,9 @@ class MultiscalarProcessor : public PuContext
     MsConfig config_;
     StatRegistry stats_;
     StatGroup *coreStats_ = nullptr;
+    /** Only constructed when config.trace.enabled. */
+    std::unique_ptr<Tracer> tracer_;
+    CycleAccounting acct_;
     MainMemory mem_;
     std::unique_ptr<MemoryBus> bus_;
     std::vector<std::unique_ptr<Cache>> icaches_;

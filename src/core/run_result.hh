@@ -15,6 +15,7 @@
 
 #include "common/types.hh"
 #include "pu/processing_unit.hh"
+#include "trace/cycle_accounting.hh"
 
 namespace msim {
 
@@ -49,6 +50,13 @@ struct RunResult
     CycleBreakdown usefulCycles;    //!< cycles of retired tasks
     CycleBreakdown squashedCycles;  //!< cycles of squashed tasks
     std::uint64_t idleCycles = 0;   //!< unit-cycles with no task
+
+    /**
+     * Exact per-unit cycle accounting (src/trace/): every unit-cycle
+     * classified into exactly one category, with
+     * accounting.sum() == cycles × accounting.numUnits.
+     */
+    CycleAccountingResult accounting;
 
     /** @return committed instructions per cycle. */
     double

@@ -7,19 +7,31 @@ namespace msim {
 
 ScalarProcessor::ScalarProcessor(const Program &program,
                                  const ScalarConfig &config)
-    : program_(program), config_(config)
+    : program_(program), config_(config), acct_(1)
 {
     mem_.loadProgram(program);
-    bus_ = std::make_unique<MemoryBus>(stats_.group("bus"), config.bus);
+    if (config.trace.enabled) {
+        tracer_ = std::make_unique<Tracer>(config.trace);
+        tracer_->threadName(0, "pu0");
+        tracer_->threadName(kTidBus, "bus");
+        tracer_->threadName(kTidIcacheBase, "icache");
+        tracer_->threadName(kTidDcacheBase, "dcache");
+    }
+    Tracer *tracer = tracer_.get();
+    bus_ = std::make_unique<MemoryBus>(stats_.group("bus"), config.bus,
+                                       tracer);
     icache_ = std::make_unique<Cache>(stats_.group("icache"), *bus_,
-                                      config.icache);
+                                      config.icache, tracer,
+                                      kTidIcacheBase);
     dcache_ = std::make_unique<Cache>(stats_.group("dcache"), *bus_,
-                                      config.dcache);
+                                      config.dcache, tracer,
+                                      kTidDcacheBase);
     syscalls_ = std::make_unique<SyscallHandler>(
         [this](Addr a) { return std::uint8_t(mem_.read(a, 1)); },
         program.heapStart);
     unit_ = std::make_unique<ProcessingUnit>(0, config.pu, *this,
-                                             stats_.group("pu0"));
+                                             stats_.group("pu0"),
+                                             &acct_, tracer);
 }
 
 void
@@ -41,10 +53,16 @@ ScalarProcessor::run(Cycle max_cycles)
 
     RunResult result;
     Cycle now = 0;
+    Cycle cycles_done = 0;
     std::uint64_t last_progress_count = 0;
     Cycle last_progress_cycle = 0;
     for (; now < max_cycles; ++now) {
+        if (tracer_)
+            tracer_->setNow(now);
+        acct_.beginCycle();
         unit_->tick(now);
+        acct_.endCycle();
+        ++cycles_done;
         if (syscalls_->exited())
             break;
         const std::uint64_t done = unit_->currentTaskStats().instructions;
@@ -58,12 +76,17 @@ ScalarProcessor::run(Cycle max_cycles)
                 program_.entry, std::dec, ")");
     }
 
-    result.cycles = now + 1;
+    acct_.commitTask(0);
+    result.cycles = cycles_done;
     result.exited = syscalls_->exited();
     result.instructions = unit_->currentTaskStats().instructions;
     result.usefulCycles = unit_->currentTaskStats().cycles;
     result.tasksRetired = 1;
     result.output = syscalls_->output();
+    result.accounting = acct_.finish(cycles_done);
+    acct_.exportStats(stats_.group("cycles"));
+    if (tracer_)
+        tracer_->flush();
     return result;
 }
 

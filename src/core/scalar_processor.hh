@@ -23,6 +23,8 @@
 #include "pu/processing_unit.hh"
 #include "pu/pu_context.hh"
 #include "sim/syscalls.hh"
+#include "trace/cycle_accounting.hh"
+#include "trace/tracer.hh"
 
 namespace msim {
 
@@ -33,6 +35,9 @@ struct ScalarConfig
     Cache::Params icache{32 * 1024, 64, 1};
     Cache::Params dcache{64 * 1024, 64, 1};
     MemoryBus::Params bus;
+
+    /** Event tracing (off by default; see src/trace/). */
+    TraceConfig trace;
 };
 
 /** The scalar baseline machine. */
@@ -75,6 +80,9 @@ class ScalarProcessor : public PuContext
     const Program &program_;
     ScalarConfig config_;
     StatRegistry stats_;
+    /** Only constructed when config.trace.enabled. */
+    std::unique_ptr<Tracer> tracer_;
+    CycleAccounting acct_;
     MainMemory mem_;
     std::unique_ptr<MemoryBus> bus_;
     std::unique_ptr<Cache> icache_;

@@ -33,8 +33,9 @@ class BankedDataCache
     };
 
     BankedDataCache(StatRegistry &stats, MemoryBus &bus,
-                    const Params &params)
-        : params_(params), bankBusyUntil_(params.numBanks, 0)
+                    const Params &params, Tracer *tracer = nullptr)
+        : params_(params), bankBusyUntil_(params.numBanks, 0),
+          tracer_(tracer)
     {
         fatalIf(params.numBanks == 0, "need at least one data bank");
         for (unsigned b = 0; b < params.numBanks; ++b) {
@@ -42,7 +43,8 @@ class BankedDataCache
             banks_.push_back(std::make_unique<Cache>(
                 group, bus,
                 Cache::Params{params.bankSizeBytes, params.blockBytes,
-                              params.hitLatency}));
+                              params.hitLatency},
+                tracer, kTidDcacheBase + b));
         }
         xbarStats_ = &stats.group("crossbar");
     }
@@ -71,6 +73,11 @@ class BankedDataCache
         if (bankBusyUntil_[bank] > grant) {
             grant = bankBusyUntil_[bank];
             xbarStats_->add("conflictCycles", grant - now);
+            if (tracer_ && tracer_->wants(TraceCat::kCache)) {
+                tracer_->instant(TraceCat::kCache, "bank_conflict", now,
+                                 kTidDcacheBase + bank, "wait",
+                                 grant - now);
+            }
         }
         // Banks are pipelined: they accept one access per cycle.
         bankBusyUntil_[bank] = grant + 1;
@@ -108,6 +115,7 @@ class BankedDataCache
     std::vector<std::unique_ptr<Cache>> banks_;
     std::vector<Cycle> bankBusyUntil_;
     StatGroup *xbarStats_;
+    Tracer *tracer_ = nullptr;
 };
 
 } // namespace msim

@@ -15,6 +15,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "trace/tracer.hh"
 
 namespace msim {
 
@@ -31,8 +32,9 @@ class MemoryBus
 
     explicit MemoryBus(StatGroup &stats) : MemoryBus(stats, Params{}) {}
 
-    MemoryBus(StatGroup &stats, const Params &params)
-        : stats_(stats), params_(params)
+    MemoryBus(StatGroup &stats, const Params &params,
+              Tracer *tracer = nullptr)
+        : stats_(stats), params_(params), tracer_(tracer)
     {
     }
 
@@ -59,6 +61,10 @@ class MemoryBus
         if (start > now)
             stats_.add("contentionCycles", start - now);
         busFreeAt_ = done;
+        if (tracer_ && tracer_->wants(TraceCat::kBus)) {
+            tracer_->complete(TraceCat::kBus, "xfer", start, service,
+                              kTidBus, "words", words);
+        }
         return done;
     }
 
@@ -71,6 +77,7 @@ class MemoryBus
   private:
     StatGroup &stats_;
     Params params_;
+    Tracer *tracer_;
     Cycle busFreeAt_ = 0;
 };
 

@@ -20,6 +20,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/bus.hh"
+#include "trace/tracer.hh"
 
 namespace msim {
 
@@ -34,8 +35,10 @@ class Cache
         unsigned hitLatency = 1;
     };
 
-    Cache(StatGroup &stats, MemoryBus &bus, const Params &params)
-        : stats_(stats), bus_(bus), params_(params)
+    Cache(StatGroup &stats, MemoryBus &bus, const Params &params,
+          Tracer *tracer = nullptr, std::uint32_t trace_tid = 0)
+        : stats_(stats), bus_(bus), params_(params), tracer_(tracer),
+          traceTid_(trace_tid)
     {
         fatalIf(params.sizeBytes == 0 || params.blockBytes == 0 ||
                     params.sizeBytes % params.blockBytes != 0,
@@ -70,6 +73,11 @@ class Cache
         }
 
         stats_.add(write ? "writeMisses" : "readMisses");
+        if (tracer_ && tracer_->wants(TraceCat::kCache)) {
+            tracer_->instant(TraceCat::kCache,
+                             write ? "write_miss" : "read_miss", now,
+                             traceTid_, "addr", addr);
+        }
         const unsigned block_words = unsigned(params_.blockBytes / 4);
         Cycle start = now;
         if (line.valid && line.dirty) {
@@ -115,6 +123,8 @@ class Cache
     StatGroup &stats_;
     MemoryBus &bus_;
     Params params_;
+    Tracer *tracer_ = nullptr;
+    std::uint32_t traceTid_ = 0;
     size_t numBlocks_ = 0;
     std::vector<Line> lines_;
 };

@@ -63,8 +63,11 @@ isBarrier(const Instruction &inst)
 } // namespace
 
 ProcessingUnit::ProcessingUnit(unsigned id, const PuConfig &config,
-                               PuContext &ctx, StatGroup &stats)
-    : id_(id), config_(config), ctx_(ctx), stats_(stats)
+                               PuContext &ctx, StatGroup &stats,
+                               CycleAccounting *acct, Tracer *tracer)
+    : id_(id), config_(config), ctx_(ctx), stats_(stats), acct_(acct),
+      tracer_(tracer),
+      occupancyName_("pu" + std::to_string(id) + ".occupancy")
 {
     fatalIf(config.issueWidth == 0 || config.issueWidth > 2,
             "issue width must be 1 or 2");
@@ -650,29 +653,34 @@ ProcessingUnit::maybeFinish()
     status_ = Status::kDone;
 }
 
-void
-ProcessingUnit::accountCycle(Cycle now, unsigned issued_count)
+bool
+ProcessingUnit::memOpInFlight() const
 {
-    (void)now;
-    if (status_ == Status::kFree)
-        return;
-    CycleBreakdown &cb = taskStats_.cycles;
-    if (issued_count > 0) {
-        cb.busy += 1;
-        return;
+    for (const Slot &slot : window_) {
+        if (slot.issued && !slot.done && slot.inst->isMemOp())
+            return true;
     }
-    if (status_ == Status::kDone) {
-        cb.waitRetire += 1;
-        return;
-    }
-    if (status_ == Status::kExited) {
-        if (window_.empty())
-            cb.waitRetire += 1;
-        else
-            cb.waitIntra += 1;
-        return;
-    }
-    // Running with no issue: attribute to the oldest un-issued slot.
+    return false;
+}
+
+/**
+ * Classify what this (non-free, zero-issue unless busy) cycle was
+ * spent on. The refinement over the legacy CycleBreakdown is the
+ * memory-wait category: a stall whose oldest obstacle is a memory
+ * operation (in flight in the dcache, or retrying against a full
+ * ARB) is distinguished from generic intra-task latency.
+ */
+CycleCat
+ProcessingUnit::classifyCycle(unsigned issued_count) const
+{
+    if (issued_count > 0)
+        return CycleCat::kBusy;
+    if (status_ == Status::kDone)
+        return CycleCat::kRetireWait;
+    if (status_ == Status::kExited && window_.empty())
+        return CycleCat::kRetireWait;
+
+    // Attribute the stall to the oldest un-issued instruction.
     const Slot *oldest = nullptr;
     for (const Slot &slot : window_) {
         if (!slot.issued) {
@@ -681,11 +689,12 @@ ProcessingUnit::accountCycle(Cycle now, unsigned issued_count)
         }
     }
     if (!oldest) {
+        if (memOpInFlight())
+            return CycleCat::kMemWait;
         if (anyInFlight())
-            cb.waitIntra += 1;
-        else
-            cb.fetchStall += 1;
-        return;
+            return CycleCat::kIntraWait;
+        return status_ == Status::kRunning ? CycleCat::kFetchStall
+                                           : CycleCat::kRetireWait;
     }
     RegIndex srcs[4];
     const unsigned nsrc = sourcesOf(*oldest->inst, srcs);
@@ -695,12 +704,46 @@ ProcessingUnit::accountCycle(Cycle now, unsigned issued_count)
             const RegState &st = regs_[size_t(r)];
             if (st.awaitingPred && !st.writtenWB &&
                 st.pendingWriters == 0) {
-                cb.waitPred += 1;
-                return;
+                return CycleCat::kRingWait;
             }
         }
     }
-    cb.waitIntra += 1;
+    if (oldest->inst->isMemOp() || memOpInFlight())
+        return CycleCat::kMemWait;
+    return CycleCat::kIntraWait;
+}
+
+void
+ProcessingUnit::accountCycle(Cycle now, unsigned issued_count)
+{
+    (void)now;
+    if (status_ == Status::kFree)
+        return;
+    const CycleCat cat = classifyCycle(issued_count);
+    if (acct_)
+        acct_->recordPending(id_, cat);
+
+    // Legacy per-task breakdown (kRingWait maps to waitPred; both
+    // memory and generic latency stalls fold into waitIntra).
+    CycleBreakdown &cb = taskStats_.cycles;
+    switch (cat) {
+      case CycleCat::kBusy:
+        cb.busy += 1;
+        break;
+      case CycleCat::kRingWait:
+        cb.waitPred += 1;
+        break;
+      case CycleCat::kMemWait:
+      case CycleCat::kIntraWait:
+        cb.waitIntra += 1;
+        break;
+      case CycleCat::kFetchStall:
+        cb.fetchStall += 1;
+        break;
+      default:
+        cb.waitRetire += 1;
+        break;
+    }
 }
 
 void
@@ -722,6 +765,10 @@ ProcessingUnit::tick(Cycle now)
     autoReleasePhase();
     maybeFinish();
     accountCycle(now, issued);
+    if (tracer_ && tracer_->wants(TraceCat::kPu)) {
+        tracer_->counter(TraceCat::kPu, occupancyName_, now, id_,
+                         "window", window_.size(), "issued", issued);
+    }
 }
 
 } // namespace msim

@@ -46,6 +46,8 @@
 #include "isa/instruction.hh"
 #include "pu/pu_config.hh"
 #include "pu/pu_context.hh"
+#include "trace/cycle_accounting.hh"
+#include "trace/tracer.hh"
 
 namespace msim {
 
@@ -94,8 +96,15 @@ class ProcessingUnit
         kDone,     //!< everything complete; awaiting retirement
     };
 
+    /**
+     * @param acct Optional cycle-accounting sink; every tick of an
+     *        assigned task records one pending category for this
+     *        unit's id.
+     * @param tracer Optional event tracer (occupancy counters).
+     */
     ProcessingUnit(unsigned id, const PuConfig &config, PuContext &ctx,
-                   StatGroup &stats);
+                   StatGroup &stats, CycleAccounting *acct = nullptr,
+                   Tracer *tracer = nullptr);
 
     /**
      * Assign a task (or, for the scalar baseline, the whole program).
@@ -214,6 +223,8 @@ class ProcessingUnit
     void accountCycle(Cycle now, unsigned issued_count);
 
     // --- helpers -----------------------------------------------------
+    CycleCat classifyCycle(unsigned issued_count) const;
+    bool memOpInFlight() const;
     bool regReadReady(RegIndex reg) const;
     isa::RegValue regRead(RegIndex reg) const;
     bool slotReady(const Slot &slot, size_t index, Cycle now) const;
@@ -234,6 +245,10 @@ class ProcessingUnit
     PuConfig config_;
     PuContext &ctx_;
     StatGroup &stats_;
+    CycleAccounting *acct_ = nullptr;
+    Tracer *tracer_ = nullptr;
+    /** Stable storage for this unit's trace counter name. */
+    std::string occupancyName_;
 
     // --- task state ---------------------------------------------------
     Status status_ = Status::kFree;

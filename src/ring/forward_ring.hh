@@ -23,6 +23,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/exec.hh"
+#include "trace/tracer.hh"
 
 namespace msim {
 
@@ -42,10 +43,10 @@ class ForwardRing
 {
   public:
     ForwardRing(StatGroup &stats, unsigned num_units, unsigned width,
-                unsigned hop_latency = 1)
+                unsigned hop_latency = 1, Tracer *tracer = nullptr)
         : stats_(stats), numUnits_(num_units), width_(width),
-          hopLatency_(hop_latency), outbound_(num_units),
-          inFlight_(num_units)
+          hopLatency_(hop_latency), tracer_(tracer),
+          outbound_(num_units), inFlight_(num_units)
     {
         fatalIf(num_units == 0, "ring needs at least one unit");
         fatalIf(width == 0, "ring width must be positive");
@@ -59,6 +60,11 @@ class ForwardRing
         panicIf(from_unit >= numUnits_, "ring send from bad unit");
         outbound_[from_unit].push_back(msg);
         stats_.add("sends");
+        if (tracer_ && tracer_->wants(TraceCat::kRing)) {
+            tracer_->instant(TraceCat::kRing, "forward", tracer_->now(),
+                             kTidRing, "from", from_unit, "reg",
+                             std::uint64_t(msg.reg));
+        }
     }
 
     /**
@@ -147,6 +153,7 @@ class ForwardRing
     unsigned numUnits_;
     unsigned width_;
     unsigned hopLatency_;
+    Tracer *tracer_ = nullptr;
     /** Messages waiting at each unit's outbound port. */
     std::vector<std::deque<RingMessage>> outbound_;
     /** Messages traversing the link out of each unit. */

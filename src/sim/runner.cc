@@ -25,13 +25,19 @@ runWorkload(const workloads::Workload &workload, const RunSpec &spec)
 
     RunResult result;
     if (spec.multiscalar) {
-        MultiscalarProcessor proc(prog, spec.ms);
+        MsConfig cfg = spec.ms;
+        if (spec.trace.enabled)
+            cfg.trace = spec.trace;
+        MultiscalarProcessor proc(prog, cfg);
         if (workload.init)
             workload.init(proc.memory(), prog);
         proc.setInput(workload.input);
         result = proc.run(spec.maxCycles);
     } else {
-        ScalarProcessor proc(prog, spec.scalar);
+        ScalarConfig cfg = spec.scalar;
+        if (spec.trace.enabled)
+            cfg.trace = spec.trace;
+        ScalarProcessor proc(prog, cfg);
         if (workload.init)
             workload.init(proc.memory(), prog);
         proc.setInput(workload.input);

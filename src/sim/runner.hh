@@ -16,6 +16,7 @@
 #include "core/ms_config.hh"
 #include "core/run_result.hh"
 #include "core/scalar_processor.hh"
+#include "trace/trace_config.hh"
 #include "workloads/workload.hh"
 
 namespace msim {
@@ -32,6 +33,11 @@ struct RunSpec
     Cycle maxCycles = 1'000'000'000;
     /** Verify output against the workload's golden model. */
     bool checkOutput = true;
+    /**
+     * Event tracing. When enabled, overrides the trace config of
+     * whichever machine the spec selects.
+     */
+    TraceConfig trace;
 };
 
 /**

@@ -1,0 +1,130 @@
+#include "trace/cycle_accounting.hh"
+
+#include "common/logging.hh"
+
+namespace msim {
+
+const char *
+cycleCatName(CycleCat cat)
+{
+    switch (cat) {
+      case CycleCat::kBusy:
+        return "busy";
+      case CycleCat::kRingWait:
+        return "ring_wait";
+      case CycleCat::kMemWait:
+        return "mem_wait";
+      case CycleCat::kIntraWait:
+        return "intra_wait";
+      case CycleCat::kFetchStall:
+        return "fetch_stall";
+      case CycleCat::kRetireWait:
+        return "retire_wait";
+      case CycleCat::kSquashed:
+        return "squashed";
+      case CycleCat::kIdle:
+        return "idle";
+      default:
+        return "?";
+    }
+}
+
+CycleAccounting::CycleAccounting(unsigned num_units)
+    : numUnits_(num_units), final_(num_units), pending_(num_units),
+      accountedGen_(num_units, 0)
+{
+    fatalIf(num_units == 0, "cycle accounting needs at least one unit");
+}
+
+void
+CycleAccounting::beginCycle()
+{
+    panicIf(inCycle_, "beginCycle without endCycle");
+    inCycle_ = true;
+    ++gen_;
+}
+
+void
+CycleAccounting::recordPending(unsigned unit, CycleCat cat)
+{
+    panicIf(unit >= numUnits_, "cycle accounting: bad unit");
+    panicIf(!inCycle_, "recordPending outside a cycle");
+    panicIf(accountedGen_[unit] == gen_,
+            "unit ", unit, " accounted twice in one cycle");
+    accountedGen_[unit] = gen_;
+    pending_[unit][size_t(cat)] += 1;
+}
+
+void
+CycleAccounting::endCycle()
+{
+    panicIf(!inCycle_, "endCycle without beginCycle");
+    inCycle_ = false;
+    for (unsigned u = 0; u < numUnits_; ++u) {
+        if (accountedGen_[u] != gen_)
+            final_[u][size_t(CycleCat::kIdle)] += 1;
+    }
+}
+
+void
+CycleAccounting::commitTask(unsigned unit)
+{
+    panicIf(unit >= numUnits_, "cycle accounting: bad unit");
+    Counts &p = pending_[unit];
+    Counts &f = final_[unit];
+    for (size_t c = 0; c < kNumCycleCats; ++c) {
+        f[c] += p[c];
+        p[c] = 0;
+    }
+}
+
+void
+CycleAccounting::squashTask(unsigned unit)
+{
+    panicIf(unit >= numUnits_, "cycle accounting: bad unit");
+    Counts &p = pending_[unit];
+    std::uint64_t wasted = 0;
+    for (size_t c = 0; c < kNumCycleCats; ++c) {
+        wasted += p[c];
+        p[c] = 0;
+    }
+    final_[unit][size_t(CycleCat::kSquashed)] += wasted;
+}
+
+CycleAccountingResult
+CycleAccounting::finish(Cycle cycles_simulated) const
+{
+    panicIf(inCycle_, "finish inside an open cycle");
+    CycleAccountingResult out;
+    out.numUnits = numUnits_;
+    out.perUnit.resize(numUnits_);
+    for (unsigned u = 0; u < numUnits_; ++u) {
+        for (size_t c = 0; c < kNumCycleCats; ++c) {
+            panicIf(pending_[u][c] != 0,
+                    "cycle accounting finished with pending counts on "
+                    "unit ", u, " (unresolved task fate)");
+            out.perUnit[u][c] = final_[u][c];
+            out.total[c] += final_[u][c];
+        }
+    }
+    panicIf(out.sum() != std::uint64_t(cycles_simulated) * numUnits_,
+            "cycle accounting invariant broken: categories sum to ",
+            out.sum(), " but ", cycles_simulated, " cycles x ",
+            numUnits_, " units = ",
+            std::uint64_t(cycles_simulated) * numUnits_);
+    return out;
+}
+
+void
+CycleAccounting::exportStats(StatGroup &group) const
+{
+    for (unsigned u = 0; u < numUnits_; ++u) {
+        const std::string dist = "pu" + std::to_string(u);
+        for (size_t c = 0; c < kNumCycleCats; ++c) {
+            group.addToDist(dist, cycleCatName(CycleCat(c)),
+                            final_[u][c] + pending_[u][c]);
+        }
+    }
+}
+
+} // namespace msim

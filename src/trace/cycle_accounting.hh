@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Per-unit cycle accounting: every simulated cycle of every
+ * processing unit is classified into exactly one category, matching
+ * the paper's section 3 discussion of where the available unit
+ * cycles go — useful computation, non-useful (squashed) computation,
+ * no-computation cycles split by cause (waiting for a predecessor
+ * value on the ring, waiting on memory, intra-task latency, fetch
+ * stalls, waiting for retirement), and idle cycles with no assigned
+ * task.
+ *
+ * Protocol (driven by the owning processor's run loop):
+ *
+ *   beginCycle();                 // once per simulated cycle
+ *   ... recordPending(unit, cat)  // from each unit's tick
+ *   ... squashTask(unit)          // when a unit's task is squashed
+ *   ... commitTask(unit)          // when a unit's task retires
+ *   endCycle();                   // unaccounted units become idle
+ *
+ * Cycles recorded for an in-flight task stay *pending* until the
+ * task's fate is known: commitTask folds them into the final counts
+ * under their recorded categories (useful work), squashTask folds
+ * their sum into kSquashed (the work was thrown away). Because each
+ * cycle contributes exactly one classification per unit — either a
+ * recordPending or the endCycle idle default — the grand total obeys
+ * the hard invariant
+ *
+ *   sum over categories == cycles simulated × number of units
+ *
+ * which finish() verifies.
+ */
+
+#ifndef MSIM_TRACE_CYCLE_ACCOUNTING_HH
+#define MSIM_TRACE_CYCLE_ACCOUNTING_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace msim {
+
+/** What one unit did during one cycle. */
+enum class CycleCat : std::uint8_t
+{
+    kBusy,        //!< issued at least one instruction
+    kRingWait,    //!< stalled on a predecessor register (ring wait)
+    kMemWait,     //!< stalled on a memory access (dcache, ARB full)
+    kIntraWait,   //!< stalled on non-memory intra-task latency
+    kFetchStall,  //!< instruction window empty (icache, redirect)
+    kRetireWait,  //!< task finished, waiting for head retirement
+    kSquashed,    //!< cycle spent on work that was later squashed
+    kIdle,        //!< no task assigned
+    kNumCats
+};
+
+inline constexpr size_t kNumCycleCats = size_t(CycleCat::kNumCats);
+
+/** @return the short snake_case name of a category. */
+const char *cycleCatName(CycleCat cat);
+
+/** The finished accounting of one run. */
+struct CycleAccountingResult
+{
+    unsigned numUnits = 0;
+    /** Totals per category, summed over units. */
+    std::array<std::uint64_t, kNumCycleCats> total{};
+    /** Per-unit totals per category. */
+    std::vector<std::array<std::uint64_t, kNumCycleCats>> perUnit;
+
+    std::uint64_t
+    operator[](CycleCat cat) const
+    {
+        return total[size_t(cat)];
+    }
+
+    /** @return the grand total (== cycles × numUnits). */
+    std::uint64_t
+    sum() const
+    {
+        std::uint64_t s = 0;
+        for (std::uint64_t v : total)
+            s += v;
+        return s;
+    }
+};
+
+/** Classifies every unit-cycle of a run (see file comment). */
+class CycleAccounting
+{
+  public:
+    explicit CycleAccounting(unsigned num_units);
+
+    /** Start a simulated cycle. */
+    void beginCycle();
+
+    /** Unit @p unit spent the current cycle doing @p cat. */
+    void recordPending(unsigned unit, CycleCat cat);
+
+    /** End the cycle: units that recorded nothing were idle. */
+    void endCycle();
+
+    /** Unit @p unit's task retired: pending counts were useful. */
+    void commitTask(unsigned unit);
+
+    /** Unit @p unit's task was squashed: pending counts were waste. */
+    void squashTask(unsigned unit);
+
+    /**
+     * Close the books: @return the final result. Panics if any
+     * pending counts remain (every task's fate must be resolved) or
+     * if the invariant sum == cycles × units is broken.
+     */
+    CycleAccountingResult finish(Cycle cycles_simulated) const;
+
+    /** Export the per-unit breakdown as StatGroup distributions. */
+    void exportStats(StatGroup &group) const;
+
+    unsigned numUnits() const { return numUnits_; }
+
+  private:
+    using Counts = std::array<std::uint64_t, kNumCycleCats>;
+
+    unsigned numUnits_;
+    std::vector<Counts> final_;
+    std::vector<Counts> pending_;
+    /** Which generation (cycle) each unit last recorded in. */
+    std::vector<std::uint64_t> accountedGen_;
+    std::uint64_t gen_ = 0;
+    bool inCycle_ = false;
+};
+
+} // namespace msim
+
+#endif // MSIM_TRACE_CYCLE_ACCOUNTING_HH

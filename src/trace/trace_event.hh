@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The event record shared by the tracer and its sinks, plus the
+ * trace's lane (thread-id) layout. Events follow the Chrome
+ * trace-event model: a phase character, a timestamp in simulated
+ * cycles, a process/thread pair locating the event on a timeline,
+ * and up to two integer arguments. Sinks stream events as they are
+ * recorded, so string fields may reference caller-owned storage;
+ * they are consumed before the record call returns.
+ */
+
+#ifndef MSIM_TRACE_TRACE_EVENT_HH
+#define MSIM_TRACE_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hh"
+#include "trace/trace_config.hh"
+
+namespace msim {
+
+/** Chrome trace-event phase characters used by the tracer. */
+enum class TracePhase : char
+{
+    kInstant = 'i',   //!< point event
+    kBegin = 'B',     //!< duration start
+    kEnd = 'E',       //!< duration end
+    kComplete = 'X',  //!< duration with explicit length
+    kCounter = 'C',   //!< sampled counter values
+};
+
+/**
+ * Trace lane layout. Processing units occupy tids [0, 64); fixed
+ * machine components follow; per-bank caches get a lane each.
+ */
+inline constexpr std::uint32_t kTidSequencer = 64;
+inline constexpr std::uint32_t kTidBus = 65;
+inline constexpr std::uint32_t kTidRing = 66;
+inline constexpr std::uint32_t kTidArb = 67;
+inline constexpr std::uint32_t kTidIcacheBase = 70;   //!< + unit
+inline constexpr std::uint32_t kTidDcacheBase = 100;  //!< + bank
+
+/** One trace event, streamed to the active sink. */
+struct TraceEvent
+{
+    std::string_view name;
+    TraceCat cat = TraceCat::kSeq;
+    TracePhase ph = TracePhase::kInstant;
+    Cycle ts = 0;
+    Cycle dur = 0;  //!< kComplete only
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    /** Up to two integer arguments; an empty key ends the list. */
+    std::string_view key1;
+    std::uint64_t val1 = 0;
+    std::string_view key2;
+    std::uint64_t val2 = 0;
+};
+
+} // namespace msim
+
+#endif // MSIM_TRACE_TRACE_EVENT_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Pluggable destinations for trace events. Sinks stream: each event
+ * is serialized when recorded, so tracing long runs needs no
+ * event buffer. Three sinks ship with the simulator:
+ *
+ *  - ChromeTraceSink: the Chrome trace-event JSON format, loadable
+ *    in chrome://tracing or https://ui.perfetto.dev;
+ *  - CsvTraceSink: one row per event for ad-hoc analysis;
+ *  - NullTraceSink: discards everything (overhead measurement).
+ *
+ * Tests inject their own sink through the Tracer constructor.
+ */
+
+#ifndef MSIM_TRACE_TRACE_SINK_HH
+#define MSIM_TRACE_TRACE_SINK_HH
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string_view>
+
+#include "trace/trace_config.hh"
+#include "trace/trace_event.hh"
+
+namespace msim {
+
+/** Where recorded events go. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Serialize one event. String views die with the call. */
+    virtual void write(const TraceEvent &event) = 0;
+
+    /** Name a trace lane (Chrome thread_name metadata). */
+    virtual void threadName(std::uint32_t tid, std::string_view name)
+    {
+        (void)tid;
+        (void)name;
+    }
+
+    /** Finish the output (close JSON brackets, flush). */
+    virtual void finish() {}
+};
+
+/** Discards every event. */
+class NullTraceSink : public TraceSink
+{
+  public:
+    void write(const TraceEvent &) override {}
+};
+
+/** Chrome trace-event JSON ("JSON object format"). */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    /** Stream to @p os (not owned; must outlive the sink). */
+    explicit ChromeTraceSink(std::ostream &os);
+
+    /** Stream to a file created at @p path. */
+    explicit ChromeTraceSink(const std::string &path);
+
+    ~ChromeTraceSink() override;
+
+    void write(const TraceEvent &event) override;
+    void threadName(std::uint32_t tid, std::string_view name) override;
+    void finish() override;
+
+  private:
+    void writeCommon(const TraceEvent &event);
+    void comma();
+
+    std::ofstream file_;
+    std::ostream *os_;
+    bool first_ = true;
+    bool finished_ = false;
+};
+
+/** One CSV row per event: ph,ts,dur,pid,tid,cat,name,k1,v1,k2,v2. */
+class CsvTraceSink : public TraceSink
+{
+  public:
+    explicit CsvTraceSink(std::ostream &os);
+    explicit CsvTraceSink(const std::string &path);
+
+    void write(const TraceEvent &event) override;
+    void finish() override;
+
+  private:
+    void header();
+
+    std::ofstream file_;
+    std::ostream *os_;
+};
+
+/**
+ * Build the sink named by @p config ("chrome", "csv", "null").
+ * Throws FatalError for an unknown kind or an unwritable path.
+ */
+std::unique_ptr<TraceSink> makeTraceSink(const TraceConfig &config);
+
+} // namespace msim
+
+#endif // MSIM_TRACE_TRACE_SINK_HH

@@ -1,0 +1,192 @@
+#include "trace/tracer.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace msim {
+
+const char *
+traceCatName(TraceCat cat)
+{
+    switch (cat) {
+      case TraceCat::kTask:
+        return "task";
+      case TraceCat::kSeq:
+        return "seq";
+      case TraceCat::kPu:
+        return "pu";
+      case TraceCat::kArb:
+        return "arb";
+      case TraceCat::kRing:
+        return "ring";
+      case TraceCat::kCache:
+        return "cache";
+      case TraceCat::kBus:
+        return "bus";
+      default:
+        return "?";
+    }
+}
+
+TraceCat
+traceCatFromName(const std::string &name)
+{
+    for (unsigned c = 0; c < unsigned(TraceCat::kNumCats); ++c) {
+        if (name == traceCatName(TraceCat(c)))
+            return TraceCat(c);
+    }
+    return TraceCat::kNumCats;
+}
+
+std::uint32_t
+traceCatMaskFromList(const std::string &list)
+{
+    if (list.empty())
+        return kAllTraceCats;
+    std::uint32_t mask = 0;
+    std::istringstream is(list);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        const TraceCat cat = traceCatFromName(item);
+        fatalIf(cat == TraceCat::kNumCats,
+                "unknown trace category \"", item, "\"");
+        mask |= traceCatBit(cat);
+    }
+    return mask;
+}
+
+Tracer::Tracer(const TraceConfig &config)
+    : Tracer(config, config.enabled ? makeTraceSink(config) : nullptr)
+{
+}
+
+Tracer::Tracer(const TraceConfig &config,
+               std::unique_ptr<TraceSink> sink)
+    : enabled_(config.enabled), catMask_(config.categories),
+      maxEvents_(config.maxEvents), sink_(std::move(sink))
+{
+    if (enabled_ && !sink_)
+        sink_ = makeTraceSink(config);
+}
+
+Tracer::~Tracer()
+{
+    flush();
+}
+
+void
+Tracer::record(const TraceEvent &event)
+{
+    if (!wants(event.cat))
+        return;
+    if (recorded_ >= maxEvents_) {
+        dropped_ += 1;
+        return;
+    }
+    recorded_ += 1;
+    sink_->write(event);
+}
+
+void
+Tracer::instant(TraceCat cat, std::string_view name, Cycle ts,
+                std::uint32_t tid, std::string_view key1,
+                std::uint64_t val1, std::string_view key2,
+                std::uint64_t val2)
+{
+    TraceEvent ev;
+    ev.name = name;
+    ev.cat = cat;
+    ev.ph = TracePhase::kInstant;
+    ev.ts = ts;
+    ev.tid = tid;
+    ev.key1 = key1;
+    ev.val1 = val1;
+    ev.key2 = key2;
+    ev.val2 = val2;
+    record(ev);
+}
+
+void
+Tracer::begin(TraceCat cat, std::string_view name, Cycle ts,
+              std::uint32_t tid, std::string_view key1,
+              std::uint64_t val1, std::string_view key2,
+              std::uint64_t val2)
+{
+    TraceEvent ev;
+    ev.name = name;
+    ev.cat = cat;
+    ev.ph = TracePhase::kBegin;
+    ev.ts = ts;
+    ev.tid = tid;
+    ev.key1 = key1;
+    ev.val1 = val1;
+    ev.key2 = key2;
+    ev.val2 = val2;
+    record(ev);
+}
+
+void
+Tracer::end(TraceCat cat, Cycle ts, std::uint32_t tid)
+{
+    TraceEvent ev;
+    ev.name = "";
+    ev.cat = cat;
+    ev.ph = TracePhase::kEnd;
+    ev.ts = ts;
+    ev.tid = tid;
+    record(ev);
+}
+
+void
+Tracer::complete(TraceCat cat, std::string_view name, Cycle ts,
+                 Cycle dur, std::uint32_t tid, std::string_view key1,
+                 std::uint64_t val1)
+{
+    TraceEvent ev;
+    ev.name = name;
+    ev.cat = cat;
+    ev.ph = TracePhase::kComplete;
+    ev.ts = ts;
+    ev.dur = dur;
+    ev.tid = tid;
+    ev.key1 = key1;
+    ev.val1 = val1;
+    record(ev);
+}
+
+void
+Tracer::counter(TraceCat cat, std::string_view name, Cycle ts,
+                std::uint32_t tid, std::string_view key1,
+                std::uint64_t val1, std::string_view key2,
+                std::uint64_t val2)
+{
+    TraceEvent ev;
+    ev.name = name;
+    ev.cat = cat;
+    ev.ph = TracePhase::kCounter;
+    ev.ts = ts;
+    ev.tid = tid;
+    ev.key1 = key1;
+    ev.val1 = val1;
+    ev.key2 = key2;
+    ev.val2 = val2;
+    record(ev);
+}
+
+void
+Tracer::threadName(std::uint32_t tid, std::string_view name)
+{
+    if (!enabled_)
+        return;
+    sink_->threadName(tid, name);
+}
+
+void
+Tracer::flush()
+{
+    if (sink_)
+        sink_->finish();
+}
+
+} // namespace msim

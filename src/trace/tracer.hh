@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The event tracer: a thin, runtime-gated front end over a TraceSink.
+ *
+ * Cost model: every instrumentation site is guarded by
+ * `tracer && tracer->wants(cat)` — a null-pointer test when tracing
+ * is compiled in but not configured (the machines only construct a
+ * Tracer when TraceConfig::enabled is set), and one inline mask test
+ * when it is. Event serialization happens in the sink, out of line,
+ * only for selected categories.
+ *
+ * Components without their own notion of time (ARB, ring) stamp
+ * events with now(): the owning processor publishes the current cycle
+ * once per simulated cycle through setNow().
+ */
+
+#ifndef MSIM_TRACE_TRACER_HH
+#define MSIM_TRACE_TRACER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "trace/trace_config.hh"
+#include "trace/trace_event.hh"
+#include "trace/trace_sink.hh"
+
+namespace msim {
+
+/** Records timestamped events into a pluggable sink. */
+class Tracer
+{
+  public:
+    /** Build a tracer with the sink named by @p config. */
+    explicit Tracer(const TraceConfig &config);
+
+    /** Build a tracer around an injected sink (tests). */
+    Tracer(const TraceConfig &config, std::unique_ptr<TraceSink> sink);
+
+    ~Tracer();
+
+    /** @return true when any recording can happen at all. */
+    bool enabled() const { return enabled_; }
+
+    /** Fast path: should events of @p cat be recorded? */
+    bool
+    wants(TraceCat cat) const
+    {
+        return enabled_ && (catMask_ & traceCatBit(cat)) != 0;
+    }
+
+    /** Publish the current simulated cycle (for un-timed callers). */
+    void setNow(Cycle now) { now_ = now; }
+
+    /** @return the last published cycle. */
+    Cycle now() const { return now_; }
+
+    // --- recording ---------------------------------------------------
+    void instant(TraceCat cat, std::string_view name, Cycle ts,
+                 std::uint32_t tid, std::string_view key1 = {},
+                 std::uint64_t val1 = 0, std::string_view key2 = {},
+                 std::uint64_t val2 = 0);
+
+    void begin(TraceCat cat, std::string_view name, Cycle ts,
+               std::uint32_t tid, std::string_view key1 = {},
+               std::uint64_t val1 = 0, std::string_view key2 = {},
+               std::uint64_t val2 = 0);
+
+    void end(TraceCat cat, Cycle ts, std::uint32_t tid);
+
+    void complete(TraceCat cat, std::string_view name, Cycle ts,
+                  Cycle dur, std::uint32_t tid,
+                  std::string_view key1 = {}, std::uint64_t val1 = 0);
+
+    void counter(TraceCat cat, std::string_view name, Cycle ts,
+                 std::uint32_t tid, std::string_view key1,
+                 std::uint64_t val1, std::string_view key2 = {},
+                 std::uint64_t val2 = 0);
+
+    /** Name a trace lane. */
+    void threadName(std::uint32_t tid, std::string_view name);
+
+    /** Finish the sink's output (idempotent). */
+    void flush();
+
+    /** Events recorded / dropped by the maxEvents cap. */
+    std::uint64_t recorded() const { return recorded_; }
+    std::uint64_t dropped() const { return dropped_; }
+
+  private:
+    void record(const TraceEvent &event);
+
+    bool enabled_ = false;
+    std::uint32_t catMask_ = 0;
+    std::uint64_t maxEvents_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+    Cycle now_ = 0;
+    std::unique_ptr<TraceSink> sink_;
+};
+
+} // namespace msim
+
+#endif // MSIM_TRACE_TRACER_HH

@@ -8,72 +8,13 @@
  * memory-hungry workloads.
  */
 
-#include "bench/bench_common.hh"
-
-namespace {
-
-using namespace msim;
-using namespace msim::bench;
-
-const std::vector<std::string> kBenches = {"example", "sc", "gcc",
-                                           "compress"};
-const std::vector<unsigned> kEntries = {4, 16, 64, 256};
-
-void
-registerAll()
-{
-    for (const std::string &name : kBenches) {
-        RunSpec scalar;
-        scalar.multiscalar = false;
-        registerCell("arb/" + name + "/scalar", name, scalar);
-        for (unsigned e : kEntries) {
-            for (bool stall : {false, true}) {
-                RunSpec ms;
-                ms.multiscalar = true;
-                ms.ms.numUnits = 8;
-                ms.ms.arbEntriesPerBank = e;
-                ms.ms.arbFullPolicy = stall ? ArbFullPolicy::kStall
-                                            : ArbFullPolicy::kSquash;
-                registerCell("arb/" + name + "/" +
-                                 (stall ? "stall" : "squash") + "_" +
-                                 std::to_string(e),
-                             name, ms);
-            }
-        }
-    }
-}
-
-void
-report()
-{
-    std::printf("\nAblation: ARB entries per bank and full policy "
-                "(8-unit; speedup over scalar)\n");
-    std::printf("%-10s %-7s", "Program", "policy");
-    for (unsigned e : kEntries)
-        std::printf(" %6ue", e);
-    std::printf("\n");
-    for (const std::string &name : kBenches) {
-        const auto &sc = cache().at("arb/" + name + "/scalar");
-        for (bool stall : {false, true}) {
-            std::printf("%-10s %-7s", name.c_str(),
-                        stall ? "stall" : "squash");
-            for (unsigned e : kEntries) {
-                const auto &ms = cache().at(
-                    "arb/" + name + "/" +
-                    (stall ? "stall" : "squash") + "_" +
-                    std::to_string(e));
-                std::printf(" %7.2f",
-                            double(sc.cycles) / double(ms.cycles));
-            }
-            std::printf("\n");
-        }
-    }
-}
-
-} // namespace
+#include "bench/suites.hh"
 
 int
 main(int argc, char **argv)
 {
-    return msim::bench::benchMain(argc, argv, registerAll, report);
+    using namespace msim::bench;
+    return benchMain(
+        argc, argv, "arb", [](auto &e) { declareArb(e); },
+        [](const auto &r) { reportArb(r); });
 }

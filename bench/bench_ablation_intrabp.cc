@@ -9,57 +9,13 @@
  * 8-unit multiscalar machine.
  */
 
-#include "bench/bench_common.hh"
-
-namespace {
-
-using namespace msim;
-using namespace msim::bench;
-
-void
-registerAll()
-{
-    for (const std::string &name : kPaperOrder) {
-        for (bool bp : {false, true}) {
-            const std::string tag = bp ? "bimodal" : "static";
-            RunSpec scalar;
-            scalar.multiscalar = false;
-            scalar.scalar.pu.intraBranchPredict = bp;
-            registerCell("bp/" + name + "/scalar_" + tag, name,
-                         scalar);
-            RunSpec ms;
-            ms.multiscalar = true;
-            ms.ms.numUnits = 8;
-            ms.ms.pu.intraBranchPredict = bp;
-            registerCell("bp/" + name + "/ms_" + tag, name, ms);
-        }
-    }
-}
-
-void
-report()
-{
-    std::printf("\nAblation: intra-unit branch prediction "
-                "(scalar IPC and 8-unit speedup)\n");
-    std::printf("%-10s %12s %12s %14s %14s\n", "Program",
-                "scIPC-static", "scIPC-bimod", "8U-spd-static",
-                "8U-spd-bimod");
-    for (const std::string &name : kPaperOrder) {
-        const auto &s0 = cache().at("bp/" + name + "/scalar_static");
-        const auto &s1 = cache().at("bp/" + name + "/scalar_bimodal");
-        const auto &m0 = cache().at("bp/" + name + "/ms_static");
-        const auto &m1 = cache().at("bp/" + name + "/ms_bimodal");
-        std::printf("%-10s %12.2f %12.2f %14.2f %14.2f\n",
-                    name.c_str(), s0.ipc(), s1.ipc(),
-                    double(s0.cycles) / double(m0.cycles),
-                    double(s1.cycles) / double(m1.cycles));
-    }
-}
-
-} // namespace
+#include "bench/suites.hh"
 
 int
 main(int argc, char **argv)
 {
-    return msim::bench::benchMain(argc, argv, registerAll, report);
+    using namespace msim::bench;
+    return benchMain(
+        argc, argv, "bp", [](auto &e) { declareIntraBp(e); },
+        [](const auto &r) { reportIntraBp(r); });
 }

@@ -7,57 +7,13 @@
  * machine, reporting prediction accuracy and speedup over scalar.
  */
 
-#include "bench/bench_common.hh"
-
-namespace {
-
-using namespace msim;
-using namespace msim::bench;
-
-const std::vector<std::string> kPredictors = {"pas", "last", "static"};
-
-void
-registerAll()
-{
-    for (const std::string &name : kPaperOrder) {
-        RunSpec scalar;
-        scalar.multiscalar = false;
-        registerCell("pred/" + name + "/scalar", name, scalar);
-        for (const std::string &p : kPredictors) {
-            RunSpec ms;
-            ms.multiscalar = true;
-            ms.ms.numUnits = 8;
-            ms.ms.predictor = p;
-            registerCell("pred/" + name + "/" + p, name, ms);
-        }
-    }
-}
-
-void
-report()
-{
-    std::printf("\nAblation: task predictor (8-unit, 1-way, in-order)\n");
-    std::printf("%-10s", "Program");
-    for (const auto &p : kPredictors)
-        std::printf(" | %7s: %6s %6s", p.c_str(), "spd", "acc");
-    std::printf("\n");
-    for (const std::string &name : kPaperOrder) {
-        const auto &sc = cache().at("pred/" + name + "/scalar");
-        std::printf("%-10s", name.c_str());
-        for (const auto &p : kPredictors) {
-            const auto &ms = cache().at("pred/" + name + "/" + p);
-            std::printf(" | %7s  %6.2f %5.1f%%", "",
-                        double(sc.cycles) / double(ms.cycles),
-                        100.0 * ms.predAccuracy());
-        }
-        std::printf("\n");
-    }
-}
-
-} // namespace
+#include "bench/suites.hh"
 
 int
 main(int argc, char **argv)
 {
-    return msim::bench::benchMain(argc, argv, registerAll, report);
+    using namespace msim::bench;
+    return benchMain(
+        argc, argv, "pred", [](auto &e) { declarePredictor(e); },
+        [](const auto &r) { reportPredictor(r); });
 }

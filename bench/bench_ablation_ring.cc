@@ -7,61 +7,13 @@
  * does not tolerate) slower forwarding.
  */
 
-#include "bench/bench_common.hh"
-
-namespace {
-
-using namespace msim;
-using namespace msim::bench;
-
-const std::vector<std::string> kBenches = {"wc", "eqntott", "compress",
-                                           "example"};
-const std::vector<unsigned> kHops = {1, 2, 3, 4};
-
-void
-registerAll()
-{
-    for (const std::string &name : kBenches) {
-        RunSpec scalar;
-        scalar.multiscalar = false;
-        registerCell("ring/" + name + "/scalar", name, scalar);
-        for (unsigned h : kHops) {
-            RunSpec ms;
-            ms.multiscalar = true;
-            ms.ms.numUnits = 8;
-            ms.ms.ringHopLatency = h;
-            registerCell("ring/" + name + "/hop" + std::to_string(h),
-                         name, ms);
-        }
-    }
-}
-
-void
-report()
-{
-    std::printf("\nAblation: ring hop latency "
-                "(8-unit, 1-way, in-order; speedup over scalar)\n");
-    std::printf("%-10s", "Program");
-    for (unsigned h : kHops)
-        std::printf(" %6uc", h);
-    std::printf("\n");
-    for (const std::string &name : kBenches) {
-        const auto &sc = cache().at("ring/" + name + "/scalar");
-        std::printf("%-10s", name.c_str());
-        for (unsigned h : kHops) {
-            const auto &ms = cache().at("ring/" + name + "/hop" +
-                                        std::to_string(h));
-            std::printf(" %7.2f",
-                        double(sc.cycles) / double(ms.cycles));
-        }
-        std::printf("\n");
-    }
-}
-
-} // namespace
+#include "bench/suites.hh"
 
 int
 main(int argc, char **argv)
 {
-    return msim::bench::benchMain(argc, argv, registerAll, report);
+    using namespace msim::bench;
+    return benchMain(
+        argc, argv, "ring", [](auto &e) { declareRing(e); },
+        [](const auto &r) { reportRing(r); });
 }

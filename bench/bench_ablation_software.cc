@@ -23,117 +23,13 @@
  *    of after a full chunk scan.
  */
 
-#include "bench/bench_common.hh"
-
-namespace {
-
-using namespace msim;
-using namespace msim::bench;
-
-void
-registerAll()
-{
-    // Dead register analysis on the example workload.
-    RunSpec scalar;
-    scalar.multiscalar = false;
-    registerCell("sw/example/scalar", "example", scalar);
-    RunSpec cons;
-    cons.multiscalar = true;
-    cons.ms.numUnits = 8;
-    registerCell("sw/example/consmask", "example", cons);
-    RunSpec opt = cons;
-    opt.defines = {"OPTMASK"};
-    registerCell("sw/example/deadreg", "example", opt);
-
-    // Work-list restructuring on sc.
-    registerCell("sw/sc/scalar", "sc", scalar);
-    RunSpec wl;
-    wl.multiscalar = true;
-    wl.ms.numUnits = 8;
-    registerCell("sw/sc/worklist", "sc", wl);
-
-    // Synchronization of data communication on gcc.
-    registerCell("sw/gcc/scalar", "gcc", scalar);
-    RunSpec plain;
-    plain.multiscalar = true;
-    plain.ms.numUnits = 8;
-    registerCell("sw/gcc/squashing", "gcc", plain);
-    RunSpec sync = plain;
-    sync.defines = {"SYNC"};
-    registerCell("sw/gcc/synchronized", "gcc", sync);
-
-    // Early prediction validation on wc.
-    registerCell("sw/wc/scalar", "wc", scalar);
-    registerCell("sw/wc/bottomtest", "wc", plain);
-    RunSpec earlyv = plain;
-    earlyv.defines = {"EARLYV"};
-    registerCell("sw/wc/earlyvalidate", "wc", earlyv);
-
-    RunSpec grid = wl;
-    grid.defines = {"SCGRID"};
-    registerCell("sw/sc/grid", "sc", grid);
-}
-
-void
-report()
-{
-    const auto &exsc = cache().at("sw/example/scalar");
-    const auto &dead = cache().at("sw/example/deadreg");
-    const auto &cons = cache().at("sw/example/consmask");
-    std::printf("\nAblation: dead register analysis "
-                "(example, 8-unit; section 2.2)\n");
-    std::printf("  %-28s speedup %5.2f   instructions %llu\n",
-                "create {$20} (optimized):",
-                double(exsc.cycles) / double(dead.cycles),
-                (unsigned long long)dead.instructions);
-    std::printf("  %-28s speedup %5.2f   instructions %llu\n",
-                "conservative mask+releases:",
-                double(exsc.cycles) / double(cons.cycles),
-                (unsigned long long)cons.instructions);
-
-    const auto &scsc = cache().at("sw/sc/scalar");
-    const auto &wl = cache().at("sw/sc/worklist");
-    const auto &grid = cache().at("sw/sc/grid");
-    std::printf("\nAblation: work-list restructuring "
-                "(sc, 8-unit; section 3.2.3)\n");
-    std::printf("  %-28s speedup %5.2f\n", "work list (restructured):",
-                double(scsc.cycles) / double(wl.cycles));
-    std::printf("  %-28s speedup %5.2f\n", "all cells (original):",
-                double(scsc.cycles) / double(grid.cycles));
-
-    const auto &gsc = cache().at("sw/gcc/scalar");
-    const auto &gsq = cache().at("sw/gcc/squashing");
-    const auto &gsy = cache().at("sw/gcc/synchronized");
-    std::printf("\nAblation: synchronization of data communication "
-                "(gcc, 8-unit; section 3.1.1)\n");
-    std::printf("  %-28s speedup %5.2f   memory squashes %llu\n",
-                "squashing (baseline):",
-                double(gsc.cycles) / double(gsq.cycles),
-                (unsigned long long)gsq.memorySquashes);
-    std::printf("  %-28s speedup %5.2f   memory squashes %llu\n",
-                "register-synchronized:",
-                double(gsc.cycles) / double(gsy.cycles),
-                (unsigned long long)gsy.memorySquashes);
-
-    const auto &wsc = cache().at("sw/wc/scalar");
-    const auto &wbt = cache().at("sw/wc/bottomtest");
-    const auto &wev = cache().at("sw/wc/earlyvalidate");
-    std::printf("\nAblation: early validation of prediction "
-                "(wc, 8-unit; section 3.1.2)\n");
-    std::printf("  %-28s speedup %5.2f   squashed instrs %llu\n",
-                "bottom-tested loop:",
-                double(wsc.cycles) / double(wbt.cycles),
-                (unsigned long long)wbt.squashedInstructions);
-    std::printf("  %-28s speedup %5.2f   squashed instrs %llu\n",
-                "top-tested (early valid.):",
-                double(wsc.cycles) / double(wev.cycles),
-                (unsigned long long)wev.squashedInstructions);
-}
-
-} // namespace
+#include "bench/suites.hh"
 
 int
 main(int argc, char **argv)
 {
-    return msim::bench::benchMain(argc, argv, registerAll, report);
+    using namespace msim::bench;
+    return benchMain(
+        argc, argv, "sw", [](auto &e) { declareSoftware(e); },
+        [](const auto &r) { reportSoftware(r); });
 }

@@ -6,58 +6,13 @@
  * behaviour makes more units useless).
  */
 
-#include "bench/bench_common.hh"
-
-namespace {
-
-using namespace msim;
-using namespace msim::bench;
-
-const std::vector<unsigned> kUnits = {1, 2, 4, 8, 16};
-
-void
-registerAll()
-{
-    for (const std::string &name : kPaperOrder) {
-        RunSpec scalar;
-        scalar.multiscalar = false;
-        registerCell("units/" + name + "/scalar", name, scalar);
-        for (unsigned u : kUnits) {
-            RunSpec ms;
-            ms.multiscalar = true;
-            ms.ms.numUnits = u;
-            registerCell("units/" + name + "/" + std::to_string(u),
-                         name, ms);
-        }
-    }
-}
-
-void
-report()
-{
-    std::printf("\nAblation: speedup vs number of units "
-                "(1-way, in-order)\n");
-    std::printf("%-10s", "Program");
-    for (unsigned u : kUnits)
-        std::printf(" %7uU", u);
-    std::printf("\n");
-    for (const std::string &name : kPaperOrder) {
-        const auto &sc = cache().at("units/" + name + "/scalar");
-        std::printf("%-10s", name.c_str());
-        for (unsigned u : kUnits) {
-            const auto &ms =
-                cache().at("units/" + name + "/" + std::to_string(u));
-            std::printf(" %8.2f",
-                        double(sc.cycles) / double(ms.cycles));
-        }
-        std::printf("\n");
-    }
-}
-
-} // namespace
+#include "bench/suites.hh"
 
 int
 main(int argc, char **argv)
 {
-    return msim::bench::benchMain(argc, argv, registerAll, report);
+    using namespace msim::bench;
+    return benchMain(
+        argc, argv, "units", [](auto &e) { declareUnits(e); },
+        [](const auto &r) { reportUnits(r); });
 }

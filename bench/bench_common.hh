@@ -1,30 +1,36 @@
 /**
  * @file
- * Shared infrastructure for the benchmark binaries.
+ * Shared harness for the benchmark binaries, built on the experiment
+ * engine (src/exp).
  *
  * Every table and figure of the paper's evaluation (section 5) has
- * one binary here. Each (workload, configuration) cell is registered
- * as a google-benchmark with a single iteration — a cell is a full
- * program simulation, so statistical repetition adds nothing — and
- * the results are cached so a paper-style table can be printed after
- * the run. Counters attached to each benchmark (IPC, speedup,
- * prediction accuracy, squashes) also appear in google-benchmark's
- * own report, including its JSON output.
+ * one binary here. A binary declares its cells into an Experiment,
+ * the SweepScheduler runs them on a worker pool (--jobs N /
+ * MSIM_JOBS), and the report callback renders the paper-style table
+ * from the deterministic SweepResult. Results are identical whatever
+ * the job count; --json FILE additionally emits the msim-sweep-v1
+ * machine-readable report.
+ *
+ * Per-cell failures are captured, not fatal: a failing cell keeps a
+ * well-formed row (ok:false + error) in the JSON report and is
+ * listed in the run summary; paper tables that need the failed
+ * number report the error instead of aborting the whole sweep.
  */
 
 #ifndef MSIM_BENCH_BENCH_COMMON_HH
 #define MSIM_BENCH_BENCH_COMMON_HH
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "sim/runner.hh"
-#include "workloads/workload.hh"
+#include "common/logging.hh"
+#include "exp/experiment.hh"
+#include "exp/report.hh"
+#include "exp/scheduler.hh"
 
 namespace msim::bench {
 
@@ -34,90 +40,142 @@ inline const std::vector<std::string> kPaperOrder = {
     "xlisp", "tomcatv", "cmp", "wc", "example",
 };
 
-/** Cache of run results keyed by an arbitrary cell name. */
-class ResultCache
-{
-  public:
-    RunResult &
-    operator[](const std::string &key)
-    {
-        return results_[key];
-    }
-
-    bool
-    has(const std::string &key) const
-    {
-        return results_.count(key) > 0;
-    }
-
-    const RunResult &
-    at(const std::string &key) const
-    {
-        return results_.at(key);
-    }
-
-  private:
-    std::map<std::string, RunResult> results_;
+/** Reduced workload set for CI smoke runs (--smoke). */
+inline const std::vector<std::string> kSmokeOrder = {
+    "example", "wc", "cmp",
 };
 
-inline ResultCache &
-cache()
+/** Command line options shared by every bench binary. */
+struct BenchOptions
 {
-    static ResultCache c;
-    return c;
+    /** Worker threads (0 = MSIM_JOBS or hardware concurrency). */
+    unsigned jobs = 0;
+    /** When non-empty, write the msim-sweep-v1 JSON report here. */
+    std::string jsonPath;
+    /** Run the reduced smoke cell set (bench_paper). */
+    bool smoke = false;
+};
+
+inline void
+printUsage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [--jobs N] [--json FILE] [--smoke]\n"
+        "  --jobs N    worker threads (default: $MSIM_JOBS or the\n"
+        "              host's hardware concurrency); results are\n"
+        "              identical for every N\n"
+        "  --json FILE write the msim-sweep-v1 JSON report to FILE\n"
+        "  --smoke     reduced cell set (CI smoke)\n",
+        argv0);
 }
 
-/** Run one cell and attach its headline numbers as counters. */
-inline void
-runCell(benchmark::State &state, const std::string &key,
-        const workloads::Workload &workload, const RunSpec &spec)
+/** Parse the shared flags; exits on bad usage. */
+inline BenchOptions
+parseArgs(int argc, char **argv)
 {
-    RunResult result;
-    for (auto _ : state) {
-        result = runWorkload(workload, spec);
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            opt.jobs = unsigned(std::strtoul(value(), nullptr, 10));
+            if (opt.jobs == 0) {
+                std::fprintf(stderr, "--jobs must be positive\n");
+                std::exit(2);
+            }
+        } else if (arg == "--json") {
+            opt.jsonPath = value();
+        } else if (arg == "--smoke") {
+            opt.smoke = true;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         arg.c_str());
+            printUsage(argv[0]);
+            std::exit(2);
+        }
     }
-    cache()[key] = result;
-    state.counters["sim_cycles"] = double(result.cycles);
-    state.counters["instructions"] = double(result.instructions);
-    state.counters["IPC"] = result.ipc();
-    state.counters["pred_acc"] = result.predAccuracy();
-    state.counters["squashes"] =
-        double(result.controlSquashes + result.memorySquashes +
-               result.arbFullSquashes);
+    return opt;
 }
 
 /**
- * Register one benchmark cell.
- *
- * @param key Unique cell name (also the google-benchmark name).
- * @param workload_name Workload to run.
- * @param spec Machine configuration.
+ * Execute @p experiment and print the run summary (cells, jobs, wall
+ * time, assemblies, failures). Also asserts the sweep's memoization
+ * invariant: the program cache compiled each distinct (workload,
+ * mode, defines, scale) point exactly once.
  */
-inline void
-registerCell(const std::string &key, const std::string &workload_name,
-             const RunSpec &spec)
+inline exp::SweepResult
+runExperiment(const exp::Experiment &experiment,
+              const BenchOptions &opt)
 {
-    benchmark::RegisterBenchmark(
-        key.c_str(),
-        [key, workload_name, spec](benchmark::State &state) {
-            workloads::Workload w = workloads::get(workload_name);
-            runCell(state, key, w, spec);
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
+    exp::SweepScheduler scheduler(opt.jobs);
+    exp::SweepResult sweep = scheduler.run(experiment);
+
+    std::printf("%s: %zu cells on %u job%s in %.2fs "
+                "(%llu assemblies, %llu cache hits)\n",
+                experiment.name().c_str(), sweep.cells.size(),
+                sweep.jobs, sweep.jobs == 1 ? "" : "s",
+                sweep.wallSeconds,
+                (unsigned long long)sweep.cacheMisses,
+                (unsigned long long)sweep.cacheHits);
+
+    // Memoization invariant: one assembly per distinct compile key,
+    // one cache lookup per cell.
+    panicIf(sweep.cacheMisses != experiment.uniqueCompileKeys(),
+            "program cache assembled ", sweep.cacheMisses,
+            " times but the experiment has ",
+            experiment.uniqueCompileKeys(), " distinct compile keys");
+    panicIf(sweep.cacheHits + sweep.cacheMisses != sweep.cells.size(),
+            "program cache lookups (", sweep.cacheHits, " + ",
+            sweep.cacheMisses, ") != cells (", sweep.cells.size(),
+            ")");
+
+    for (const exp::CellResult &c : sweep.cells) {
+        if (!c.ok)
+            std::fprintf(stderr, "FAILED cell %s (%.2fs): %s\n",
+                         c.name.c_str(), c.wallSeconds,
+                         c.error.c_str());
+    }
+    if (!opt.jsonPath.empty()) {
+        std::ofstream os(opt.jsonPath);
+        fatalIf(!os, "cannot open --json file '", opt.jsonPath, "'");
+        exp::writeJsonReport(os, sweep);
+        std::printf("wrote JSON report: %s\n", opt.jsonPath.c_str());
+    }
+    return sweep;
 }
 
-/** Standard main: run benchmarks, then print the paper-style table. */
+/**
+ * Standard main: parse flags, declare cells, run the sweep, render
+ * the paper-style report. Returns non-zero when any cell failed.
+ */
 inline int
-benchMain(int argc, char **argv, const std::function<void()> &reg,
-          const std::function<void()> &report)
+benchMain(int argc, char **argv, const std::string &name,
+          const std::function<void(exp::Experiment &)> &declare,
+          const std::function<void(const exp::SweepResult &)> &report)
 {
-    benchmark::Initialize(&argc, argv);
-    reg();
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    report();
-    return 0;
+    const BenchOptions opt = parseArgs(argc, argv);
+    exp::Experiment experiment(name);
+    declare(experiment);
+    const exp::SweepResult sweep = runExperiment(experiment, opt);
+    try {
+        report(sweep);
+    } catch (const std::exception &e) {
+        // A failed cell makes its table unrenderable; the summary
+        // and JSON report above already carry the details.
+        std::fprintf(stderr, "report incomplete: %s\n", e.what());
+        return 1;
+    }
+    return sweep.failures() == 0 ? 0 : 1;
 }
 
 } // namespace msim::bench

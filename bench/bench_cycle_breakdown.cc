@@ -15,89 +15,13 @@
  * construction. The sum invariant is re-verified here per workload.
  */
 
-#include "bench/bench_common.hh"
-#include "trace/cycle_accounting.hh"
-
-namespace {
-
-using namespace msim;
-using namespace msim::bench;
-
-constexpr unsigned kUnits = 8;
-
-void
-registerAll()
-{
-    for (const std::string &name : kPaperOrder) {
-        RunSpec ms;
-        ms.multiscalar = true;
-        ms.ms.numUnits = kUnits;
-        registerCell("breakdown/" + name, name, ms);
-    }
-}
-
-void
-report()
-{
-    std::printf("\nSection 3: distribution of unit cycles "
-                "(8-unit, 1-way, in-order; %% of all unit-cycles)\n");
-    std::printf("%-10s %7s %8s %9s %8s %9s %8s %9s %6s\n", "Program",
-                "useful", "squash", "ringWait", "memWait", "intra",
-                "fetch", "waitRet", "idle");
-    for (const std::string &name : kPaperOrder) {
-        const auto &r = cache().at("breakdown/" + name);
-        const CycleAccountingResult &a = r.accounting;
-        const std::uint64_t expect =
-            std::uint64_t(r.cycles) * a.numUnits;
-        if (a.sum() != expect) {
-            std::fprintf(stderr,
-                         "%s: accounting broken: categories sum to "
-                         "%llu, expected cycles x units = %llu\n",
-                         name.c_str(),
-                         (unsigned long long)a.sum(),
-                         (unsigned long long)expect);
-            std::exit(1);
-        }
-        auto pct = [&](CycleCat c) {
-            return 100.0 * double(a[c]) / double(expect);
-        };
-        std::printf(
-            "%-10s %6.1f%% %7.1f%% %8.1f%% %7.1f%% %8.1f%% %7.1f%% "
-            "%8.1f%% %5.1f%%\n",
-            name.c_str(), pct(CycleCat::kBusy), pct(CycleCat::kSquashed),
-            pct(CycleCat::kRingWait), pct(CycleCat::kMemWait),
-            pct(CycleCat::kIntraWait), pct(CycleCat::kFetchStall),
-            pct(CycleCat::kRetireWait), pct(CycleCat::kIdle));
-    }
-    std::printf("\nEvery row sums to 100%%: the accounting classifies "
-                "each unit-cycle exactly once.\n");
-
-    // Per-unit view for one representative workload: load balance
-    // across the circular unit queue.
-    const auto &r = cache().at("breakdown/compress");
-    std::printf("\ncompress, per unit (%% of that unit's cycles):\n");
-    std::printf("%-6s %7s %8s %9s %8s %9s %8s %9s %6s\n", "Unit",
-                "useful", "squash", "ringWait", "memWait", "intra",
-                "fetch", "waitRet", "idle");
-    for (unsigned u = 0; u < r.accounting.numUnits; ++u) {
-        const auto &pu = r.accounting.perUnit[u];
-        auto pct = [&](CycleCat c) {
-            return 100.0 * double(pu[size_t(c)]) / double(r.cycles);
-        };
-        std::printf(
-            "pu%-4u %6.1f%% %7.1f%% %8.1f%% %7.1f%% %8.1f%% %7.1f%% "
-            "%8.1f%% %5.1f%%\n",
-            u, pct(CycleCat::kBusy), pct(CycleCat::kSquashed),
-            pct(CycleCat::kRingWait), pct(CycleCat::kMemWait),
-            pct(CycleCat::kIntraWait), pct(CycleCat::kFetchStall),
-            pct(CycleCat::kRetireWait), pct(CycleCat::kIdle));
-    }
-}
-
-} // namespace
+#include "bench/suites.hh"
 
 int
 main(int argc, char **argv)
 {
-    return msim::bench::benchMain(argc, argv, registerAll, report);
+    using namespace msim::bench;
+    return benchMain(
+        argc, argv, "breakdown", [](auto &e) { declareBreakdown(e); },
+        [](const auto &r) { reportBreakdown(r); });
 }

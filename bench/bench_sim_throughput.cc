@@ -5,11 +5,20 @@
  * where google-benchmark's statistical repetition is meaningful, so
  * cells run with normal iteration counts.
  *
- * The binary also guards the tracing fast path: after the benchmark
- * cells it times runs with tracing disabled against runs with tracing
- * enabled into a null sink, and fails (exit 1) when the disabled
- * configuration is more than 5% slower — i.e. when instrumentation
- * stops being free for non-tracing users.
+ * Two guards follow the benchmark cells:
+ *
+ *  - the tracing fast path: runs with tracing disabled are timed
+ *    against runs tracing into a null sink, and the binary fails
+ *    (exit 1) when the disabled configuration is more than 5%
+ *    slower — i.e. when instrumentation stops being free for
+ *    non-tracing users;
+ *
+ *  - sweep scaling: a fixed experiment cell set is executed through
+ *    the SweepScheduler serially and with a worker pool, and the
+ *    wall-clock ratio is recorded (sweepScaling benchmark counters,
+ *    visible in --benchmark_format=json) so the perf trajectory
+ *    captures the parallel-sweep speedup alongside raw simulator
+ *    throughput.
  */
 
 #include <benchmark/benchmark.h>
@@ -19,6 +28,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "exp/experiment.hh"
+#include "exp/scheduler.hh"
 #include "sim/runner.hh"
 #include "workloads/workload.hh"
 
@@ -81,6 +92,52 @@ simMultiscalarTracedNull(benchmark::State &state)
         double(cycles), benchmark::Counter::kIsRate);
 }
 
+/** The fixed cell set used for the sweep-scaling measurement. */
+exp::Experiment
+scalingExperiment()
+{
+    exp::Experiment e("throughput-scaling");
+    for (const char *name : {"wc", "cmp", "example"}) {
+        RunSpec scalar;
+        scalar.multiscalar = false;
+        e.add(std::string("scale/") + name + "/scalar", name, scalar);
+        for (unsigned units : {2u, 4u, 8u}) {
+            RunSpec ms;
+            ms.multiscalar = true;
+            ms.ms.numUnits = units;
+            e.add(std::string("scale/") + name + "/" +
+                      std::to_string(units) + "u",
+                  name, ms);
+        }
+    }
+    return e;
+}
+
+/**
+ * One serial + one parallel execution of the fixed cell set per
+ * iteration; the counters record both wall times and their ratio, so
+ * the JSON perf record tracks the multi-core sweep speedup.
+ */
+void
+sweepScaling(benchmark::State &state)
+{
+    const unsigned jobs = unsigned(state.range(0));
+    const exp::Experiment e = scalingExperiment();
+    double serial_s = 0, parallel_s = 0;
+    for (auto _ : state) {
+        exp::SweepScheduler serial(1);
+        serial_s += serial.run(e).wallSeconds;
+        exp::SweepScheduler parallel(jobs);
+        parallel_s += parallel.run(e).wallSeconds;
+    }
+    state.counters["sweep_cells"] = double(e.size());
+    state.counters["sweep_jobs"] = double(jobs);
+    state.counters["sweep_serial_s"] = serial_s;
+    state.counters["sweep_parallel_s"] = parallel_s;
+    state.counters["sweep_speedup"] =
+        parallel_s > 0 ? serial_s / parallel_s : 0;
+}
+
 BENCHMARK(simScalar)->Unit(benchmark::kMillisecond);
 BENCHMARK(simMultiscalar)
     ->Arg(2)
@@ -90,6 +147,11 @@ BENCHMARK(simMultiscalar)
 BENCHMARK(simMultiscalarTracedNull)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(sweepScaling)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 /** Wall time of one full run of wc under @p spec. */
 double
@@ -155,6 +217,23 @@ checkDisabledFastPath()
     return 0;
 }
 
+/** Informational serial-vs-parallel summary after the benchmarks. */
+void
+printSweepScalingSummary()
+{
+    const exp::Experiment e = scalingExperiment();
+    exp::SweepScheduler serial(1);
+    const double t1 = serial.run(e).wallSeconds;
+    const unsigned jobs = exp::SweepScheduler::defaultJobs();
+    exp::SweepScheduler parallel(jobs);
+    const double tn = parallel.run(e).wallSeconds;
+    std::printf("\nSweep scaling (%zu cells):\n", e.size());
+    std::printf("  serial (1 job):    %8.3f s\n", t1);
+    std::printf("  parallel (%u jobs): %8.3f s\n", jobs, tn);
+    std::printf("  speedup:           %8.2fx\n",
+                tn > 0 ? t1 / tn : 0.0);
+}
+
 } // namespace
 
 int
@@ -165,5 +244,6 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    printSweepScalingSummary();
     return checkDisabledFastPath();
 }

@@ -11,50 +11,13 @@
  * only in the multiscalar assembly.
  */
 
-#include "bench/bench_common.hh"
-
-namespace {
-
-using namespace msim;
-using namespace msim::bench;
-
-void
-registerAll()
-{
-    for (const std::string &name : kPaperOrder) {
-        RunSpec scalar;
-        scalar.multiscalar = false;
-        registerCell("table2/" + name + "/scalar", name, scalar);
-        RunSpec ms;
-        ms.multiscalar = true;
-        ms.ms.numUnits = 4;
-        registerCell("table2/" + name + "/multiscalar", name, ms);
-    }
-}
-
-void
-report()
-{
-    std::printf("\n");
-    std::printf("Table 2: Benchmark Instruction Counts\n");
-    std::printf("%-10s %14s %14s %10s\n", "Program", "Scalar",
-                "Multiscalar", "Increase");
-    for (const std::string &name : kPaperOrder) {
-        const auto &sc = cache().at("table2/" + name + "/scalar");
-        const auto &ms = cache().at("table2/" + name + "/multiscalar");
-        const double pct =
-            100.0 * (double(ms.instructions) - double(sc.instructions)) /
-            double(sc.instructions);
-        std::printf("%-10s %14llu %14llu %9.1f%%\n", name.c_str(),
-                    (unsigned long long)sc.instructions,
-                    (unsigned long long)ms.instructions, pct);
-    }
-}
-
-} // namespace
+#include "bench/suites.hh"
 
 int
 main(int argc, char **argv)
 {
-    return msim::bench::benchMain(argc, argv, registerAll, report);
+    using namespace msim::bench;
+    return benchMain(
+        argc, argv, "table2", [](auto &e) { declareTable2(e); },
+        [](const auto &r) { reportTable2(r); });
 }

@@ -5,16 +5,17 @@
  * 1-way and 2-way issue.
  */
 
-#include "bench/bench_table34.hh"
+#include "bench/suites.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace msim::bench;
     return benchMain(
-        argc, argv, [] { registerTable34("table3", false); },
-        [] {
-            reportTable34("table3",
+        argc, argv, "table3",
+        [](auto &e) { declareTable34(e, "table3", false); },
+        [](const auto &r) {
+            reportTable34(r, "table3",
                           "Table 3: In-Order Issue Processing Units");
         });
 }

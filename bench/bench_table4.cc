@@ -5,17 +5,18 @@
  * accuracies for 1-way and 2-way issue.
  */
 
-#include "bench/bench_table34.hh"
+#include "bench/suites.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace msim::bench;
     return benchMain(
-        argc, argv, [] { registerTable34("table4", true); },
-        [] {
+        argc, argv, "table4",
+        [](auto &e) { declareTable34(e, "table4", true); },
+        [](const auto &r) {
             reportTable34(
-                "table4",
+                r, "table4",
                 "Table 4: Out-Of-Order Issue Processing Units");
         });
 }

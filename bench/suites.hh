@@ -1,0 +1,547 @@
+/**
+ * @file
+ * Cell declarations and paper-style reports for every evaluation
+ * suite: Tables 2-4, the section 3 cycle breakdown, and the six
+ * ablations. Each suite is a (declare, report) pair over the
+ * experiment engine; the per-table binaries run one suite each and
+ * bench_paper runs all of them in a single sweep. Declarations take
+ * a workload list so smoke runs can shrink the grid without changing
+ * the cell naming scheme.
+ */
+
+#ifndef MSIM_BENCH_SUITES_HH
+#define MSIM_BENCH_SUITES_HH
+
+#include <algorithm>
+
+#include "bench/bench_common.hh"
+#include "trace/cycle_accounting.hh"
+
+namespace msim::bench {
+
+using exp::Experiment;
+using exp::ReportTable;
+using exp::SweepResult;
+
+// ---------------------------------------------------------------------
+// Table 2: dynamic instruction counts, scalar vs multiscalar.
+// ---------------------------------------------------------------------
+
+inline void
+declareTable2(Experiment &e,
+              const std::vector<std::string> &names = kPaperOrder)
+{
+    for (const std::string &name : names) {
+        RunSpec scalar;
+        scalar.multiscalar = false;
+        e.add("table2/" + name + "/scalar", name, scalar);
+        RunSpec ms;
+        ms.multiscalar = true;
+        ms.ms.numUnits = 4;
+        e.add("table2/" + name + "/multiscalar", name, ms);
+    }
+}
+
+inline void
+reportTable2(const SweepResult &r,
+             const std::vector<std::string> &names = kPaperOrder)
+{
+    ReportTable t("Table 2: Benchmark Instruction Counts");
+    t.header({"Program", "Scalar", "Multiscalar", "Increase"});
+    for (const std::string &name : names) {
+        const auto &sc = r.result("table2/" + name + "/scalar");
+        const auto &ms = r.result("table2/" + name + "/multiscalar");
+        const double pct = double(ms.instructions) -
+                           double(sc.instructions);
+        t.row({name, ReportTable::count(sc.instructions),
+               ReportTable::count(ms.instructions),
+               ReportTable::pct(pct / double(sc.instructions))});
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// Tables 3 and 4: IPC, 4-/8-unit speedups, prediction accuracy, for
+// 1-/2-way units (Table 3 in-order, Table 4 out-of-order).
+// ---------------------------------------------------------------------
+
+inline void
+declareTable34(Experiment &e, const std::string &table,
+               bool out_of_order,
+               const std::vector<std::string> &names = kPaperOrder)
+{
+    for (const std::string &name : names) {
+        for (unsigned width : {1u, 2u}) {
+            RunSpec scalar;
+            scalar.multiscalar = false;
+            scalar.scalar.pu.issueWidth = width;
+            scalar.scalar.pu.outOfOrder = out_of_order;
+            e.add(table + "/" + name + "/scalar_" +
+                      std::to_string(width) + "way",
+                  name, scalar);
+            for (unsigned units : {4u, 8u}) {
+                RunSpec ms;
+                ms.multiscalar = true;
+                ms.ms.numUnits = units;
+                ms.ms.pu.issueWidth = width;
+                ms.ms.pu.outOfOrder = out_of_order;
+                e.add(table + "/" + name + "/" +
+                          std::to_string(units) + "unit_" +
+                          std::to_string(width) + "way",
+                      name, ms);
+            }
+        }
+    }
+}
+
+inline void
+reportTable34(const SweepResult &r, const std::string &table,
+              const std::string &title,
+              const std::vector<std::string> &names = kPaperOrder)
+{
+    ReportTable t(title);
+    t.header({"Program", "1w-IPC", "4U-Spd", "Pred", "8U-Spd", "Pred",
+              "2w-IPC", "4U-Spd", "Pred", "8U-Spd", "Pred"});
+    for (const std::string &name : names) {
+        std::vector<std::string> row = {name};
+        for (unsigned width : {1u, 2u}) {
+            const auto &sc =
+                r.result(table + "/" + name + "/scalar_" +
+                         std::to_string(width) + "way");
+            row.push_back(ReportTable::num(sc.ipc()));
+            for (unsigned units : {4u, 8u}) {
+                const auto &ms = r.result(
+                    table + "/" + name + "/" + std::to_string(units) +
+                    "unit_" + std::to_string(width) + "way");
+                row.push_back(ReportTable::num(double(sc.cycles) /
+                                               double(ms.cycles)));
+                row.push_back(ReportTable::pct(ms.predAccuracy()));
+            }
+        }
+        t.row(std::move(row));
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// Section 3: distribution of unit cycles (8-unit, 1-way, in-order).
+// ---------------------------------------------------------------------
+
+inline void
+declareBreakdown(Experiment &e,
+                 const std::vector<std::string> &names = kPaperOrder)
+{
+    for (const std::string &name : names) {
+        RunSpec ms;
+        ms.multiscalar = true;
+        ms.ms.numUnits = 8;
+        e.add("breakdown/" + name, name, ms);
+    }
+}
+
+inline void
+reportBreakdown(const SweepResult &r,
+                const std::vector<std::string> &names = kPaperOrder)
+{
+    ReportTable t("Section 3: distribution of unit cycles "
+                  "(8-unit, 1-way, in-order; % of all unit-cycles)");
+    t.header({"Program", "useful", "squash", "ringWait", "memWait",
+              "intra", "fetch", "waitRet", "idle"});
+    for (const std::string &name : names) {
+        const auto &res = r.result("breakdown/" + name);
+        const CycleAccountingResult &a = res.accounting;
+        const std::uint64_t expect =
+            std::uint64_t(res.cycles) * a.numUnits;
+        panicIf(a.sum() != expect, name,
+                ": accounting broken: categories sum to ", a.sum(),
+                ", expected cycles x units = ", expect);
+        auto pct = [&](CycleCat c) {
+            return ReportTable::pct(double(a[c]) / double(expect));
+        };
+        t.row({name, pct(CycleCat::kBusy), pct(CycleCat::kSquashed),
+               pct(CycleCat::kRingWait), pct(CycleCat::kMemWait),
+               pct(CycleCat::kIntraWait), pct(CycleCat::kFetchStall),
+               pct(CycleCat::kRetireWait), pct(CycleCat::kIdle)});
+    }
+    t.print();
+    std::printf("\nEvery row sums to 100%%: the accounting classifies "
+                "each unit-cycle exactly once.\n");
+
+    // Per-unit view for one representative workload: load balance
+    // across the circular unit queue.
+    const std::string rep =
+        std::find(names.begin(), names.end(), "compress") !=
+                names.end()
+            ? "compress"
+            : names.front();
+    const auto &res = r.result("breakdown/" + rep);
+    ReportTable u(rep + ", per unit (% of that unit's cycles):");
+    u.header({"Unit", "useful", "squash", "ringWait", "memWait",
+              "intra", "fetch", "waitRet", "idle"});
+    for (unsigned i = 0; i < res.accounting.numUnits; ++i) {
+        const auto &pu = res.accounting.perUnit[i];
+        auto pct = [&](CycleCat c) {
+            return ReportTable::pct(double(pu[size_t(c)]) /
+                                    double(res.cycles));
+        };
+        u.row({"pu" + std::to_string(i), pct(CycleCat::kBusy),
+               pct(CycleCat::kSquashed), pct(CycleCat::kRingWait),
+               pct(CycleCat::kMemWait), pct(CycleCat::kIntraWait),
+               pct(CycleCat::kFetchStall), pct(CycleCat::kRetireWait),
+               pct(CycleCat::kIdle)});
+    }
+    u.print();
+}
+
+// ---------------------------------------------------------------------
+// Ablation: task predictor kinds (PAs vs last-target vs static).
+// ---------------------------------------------------------------------
+
+inline const std::vector<std::string> kPredictorKinds = {"pas", "last",
+                                                         "static"};
+
+inline void
+declarePredictor(Experiment &e,
+                 const std::vector<std::string> &names = kPaperOrder)
+{
+    for (const std::string &name : names) {
+        RunSpec scalar;
+        scalar.multiscalar = false;
+        e.add("pred/" + name + "/scalar", name, scalar);
+        for (const std::string &p : kPredictorKinds) {
+            RunSpec ms;
+            ms.multiscalar = true;
+            ms.ms.numUnits = 8;
+            ms.ms.predictor = p;
+            e.add("pred/" + name + "/" + p, name, ms);
+        }
+    }
+}
+
+inline void
+reportPredictor(const SweepResult &r,
+                const std::vector<std::string> &names = kPaperOrder)
+{
+    ReportTable t(
+        "Ablation: task predictor (8-unit, 1-way, in-order)");
+    std::vector<std::string> head = {"Program"};
+    for (const auto &p : kPredictorKinds) {
+        head.push_back(p + "-spd");
+        head.push_back(p + "-acc");
+    }
+    t.header(head);
+    for (const std::string &name : names) {
+        const auto &sc = r.result("pred/" + name + "/scalar");
+        std::vector<std::string> row = {name};
+        for (const auto &p : kPredictorKinds) {
+            const auto &ms = r.result("pred/" + name + "/" + p);
+            row.push_back(ReportTable::num(double(sc.cycles) /
+                                           double(ms.cycles)));
+            row.push_back(ReportTable::pct(ms.predAccuracy()));
+        }
+        t.row(std::move(row));
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// Ablation: unit count scaling (1..16 units).
+// ---------------------------------------------------------------------
+
+inline const std::vector<unsigned> kUnitCounts = {1, 2, 4, 8, 16};
+
+inline void
+declareUnits(Experiment &e,
+             const std::vector<std::string> &names = kPaperOrder)
+{
+    for (const std::string &name : names) {
+        RunSpec scalar;
+        scalar.multiscalar = false;
+        e.add("units/" + name + "/scalar", name, scalar);
+        for (unsigned u : kUnitCounts) {
+            RunSpec ms;
+            ms.multiscalar = true;
+            ms.ms.numUnits = u;
+            e.add("units/" + name + "/" + std::to_string(u), name,
+                  ms);
+        }
+    }
+}
+
+inline void
+reportUnits(const SweepResult &r,
+            const std::vector<std::string> &names = kPaperOrder)
+{
+    ReportTable t(
+        "Ablation: speedup vs number of units (1-way, in-order)");
+    std::vector<std::string> head = {"Program"};
+    for (unsigned u : kUnitCounts)
+        head.push_back(std::to_string(u) + "U");
+    t.header(head);
+    for (const std::string &name : names) {
+        const auto &sc = r.result("units/" + name + "/scalar");
+        std::vector<std::string> row = {name};
+        for (unsigned u : kUnitCounts) {
+            const auto &ms =
+                r.result("units/" + name + "/" + std::to_string(u));
+            row.push_back(ReportTable::num(double(sc.cycles) /
+                                           double(ms.cycles)));
+        }
+        t.row(std::move(row));
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// Ablation: ring hop latency (register-communication-heavy set).
+// ---------------------------------------------------------------------
+
+inline const std::vector<std::string> kRingBenches = {
+    "wc", "eqntott", "compress", "example"};
+inline const std::vector<unsigned> kRingHops = {1, 2, 3, 4};
+
+inline void
+declareRing(Experiment &e,
+            const std::vector<std::string> &names = kRingBenches)
+{
+    for (const std::string &name : names) {
+        RunSpec scalar;
+        scalar.multiscalar = false;
+        e.add("ring/" + name + "/scalar", name, scalar);
+        for (unsigned h : kRingHops) {
+            RunSpec ms;
+            ms.multiscalar = true;
+            ms.ms.numUnits = 8;
+            ms.ms.ringHopLatency = h;
+            e.add("ring/" + name + "/hop" + std::to_string(h), name,
+                  ms);
+        }
+    }
+}
+
+inline void
+reportRing(const SweepResult &r,
+           const std::vector<std::string> &names = kRingBenches)
+{
+    ReportTable t("Ablation: ring hop latency (8-unit, 1-way, "
+                  "in-order; speedup over scalar)");
+    std::vector<std::string> head = {"Program"};
+    for (unsigned h : kRingHops)
+        head.push_back(std::to_string(h) + "c");
+    t.header(head);
+    for (const std::string &name : names) {
+        const auto &sc = r.result("ring/" + name + "/scalar");
+        std::vector<std::string> row = {name};
+        for (unsigned h : kRingHops) {
+            const auto &ms = r.result("ring/" + name + "/hop" +
+                                      std::to_string(h));
+            row.push_back(ReportTable::num(double(sc.cycles) /
+                                           double(ms.cycles)));
+        }
+        t.row(std::move(row));
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// Ablation: ARB capacity and full-ARB policy (memory-hungry set).
+// ---------------------------------------------------------------------
+
+inline const std::vector<std::string> kArbBenches = {"example", "sc",
+                                                     "gcc", "compress"};
+inline const std::vector<unsigned> kArbEntries = {4, 16, 64, 256};
+
+inline void
+declareArb(Experiment &e,
+           const std::vector<std::string> &names = kArbBenches)
+{
+    for (const std::string &name : names) {
+        RunSpec scalar;
+        scalar.multiscalar = false;
+        e.add("arb/" + name + "/scalar", name, scalar);
+        for (unsigned entries : kArbEntries) {
+            for (bool stall : {false, true}) {
+                RunSpec ms;
+                ms.multiscalar = true;
+                ms.ms.numUnits = 8;
+                ms.ms.arbEntriesPerBank = entries;
+                ms.ms.arbFullPolicy = stall ? ArbFullPolicy::kStall
+                                            : ArbFullPolicy::kSquash;
+                e.add("arb/" + name + "/" +
+                          (stall ? "stall" : "squash") + "_" +
+                          std::to_string(entries),
+                      name, ms);
+            }
+        }
+    }
+}
+
+inline void
+reportArb(const SweepResult &r,
+          const std::vector<std::string> &names = kArbBenches)
+{
+    ReportTable t("Ablation: ARB entries per bank and full policy "
+                  "(8-unit; speedup over scalar)");
+    std::vector<std::string> head = {"Program", "policy"};
+    for (unsigned e : kArbEntries)
+        head.push_back(std::to_string(e) + "e");
+    t.header(head);
+    for (const std::string &name : names) {
+        const auto &sc = r.result("arb/" + name + "/scalar");
+        for (bool stall : {false, true}) {
+            std::vector<std::string> row = {
+                name, stall ? "stall" : "squash"};
+            for (unsigned entries : kArbEntries) {
+                const auto &ms = r.result(
+                    "arb/" + name + "/" +
+                    (stall ? "stall" : "squash") + "_" +
+                    std::to_string(entries));
+                row.push_back(ReportTable::num(double(sc.cycles) /
+                                               double(ms.cycles)));
+            }
+            t.row(std::move(row));
+        }
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// Ablation: intra-unit branch prediction (static vs bimodal).
+// ---------------------------------------------------------------------
+
+inline void
+declareIntraBp(Experiment &e,
+               const std::vector<std::string> &names = kPaperOrder)
+{
+    for (const std::string &name : names) {
+        for (bool bp : {false, true}) {
+            const std::string tag = bp ? "bimodal" : "static";
+            RunSpec scalar;
+            scalar.multiscalar = false;
+            scalar.scalar.pu.intraBranchPredict = bp;
+            e.add("bp/" + name + "/scalar_" + tag, name, scalar);
+            RunSpec ms;
+            ms.multiscalar = true;
+            ms.ms.numUnits = 8;
+            ms.ms.pu.intraBranchPredict = bp;
+            e.add("bp/" + name + "/ms_" + tag, name, ms);
+        }
+    }
+}
+
+inline void
+reportIntraBp(const SweepResult &r,
+              const std::vector<std::string> &names = kPaperOrder)
+{
+    ReportTable t("Ablation: intra-unit branch prediction "
+                  "(scalar IPC and 8-unit speedup)");
+    t.header({"Program", "scIPC-static", "scIPC-bimod",
+              "8U-spd-static", "8U-spd-bimod"});
+    for (const std::string &name : names) {
+        const auto &s0 = r.result("bp/" + name + "/scalar_static");
+        const auto &s1 = r.result("bp/" + name + "/scalar_bimodal");
+        const auto &m0 = r.result("bp/" + name + "/ms_static");
+        const auto &m1 = r.result("bp/" + name + "/ms_bimodal");
+        t.row({name, ReportTable::num(s0.ipc()),
+               ReportTable::num(s1.ipc()),
+               ReportTable::num(double(s0.cycles) / double(m0.cycles)),
+               ReportTable::num(double(s1.cycles) /
+                                double(m1.cycles))});
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// Ablation: the paper's software-side techniques (fixed cells; see
+// bench_ablation_software.cc for the section-by-section story).
+// ---------------------------------------------------------------------
+
+inline void
+declareSoftware(Experiment &e)
+{
+    RunSpec scalar;
+    scalar.multiscalar = false;
+    RunSpec ms8;
+    ms8.multiscalar = true;
+    ms8.ms.numUnits = 8;
+
+    // Dead register analysis on the example workload (section 2.2).
+    e.add("sw/example/scalar", "example", scalar);
+    e.add("sw/example/consmask", "example", ms8);
+    RunSpec opt = ms8;
+    opt.defines = {"OPTMASK"};
+    e.add("sw/example/deadreg", "example", opt);
+
+    // Work-list restructuring on sc (section 3.2.3).
+    e.add("sw/sc/scalar", "sc", scalar);
+    e.add("sw/sc/worklist", "sc", ms8);
+    RunSpec grid = ms8;
+    grid.defines = {"SCGRID"};
+    e.add("sw/sc/grid", "sc", grid);
+
+    // Synchronization of data communication on gcc (section 3.1.1).
+    e.add("sw/gcc/scalar", "gcc", scalar);
+    e.add("sw/gcc/squashing", "gcc", ms8);
+    RunSpec sync = ms8;
+    sync.defines = {"SYNC"};
+    e.add("sw/gcc/synchronized", "gcc", sync);
+
+    // Early prediction validation on wc (section 3.1.2).
+    e.add("sw/wc/scalar", "wc", scalar);
+    e.add("sw/wc/bottomtest", "wc", ms8);
+    RunSpec earlyv = ms8;
+    earlyv.defines = {"EARLYV"};
+    e.add("sw/wc/earlyvalidate", "wc", earlyv);
+}
+
+inline void
+reportSoftware(const SweepResult &r)
+{
+    auto speedup = [&](const std::string &base,
+                       const std::string &cell) {
+        return ReportTable::num(double(r.result(base).cycles) /
+                                double(r.result(cell).cycles));
+    };
+
+    ReportTable t("Ablation: software techniques (8-unit)");
+    t.header({"Technique", "variant", "speedup", "note"});
+    t.row({"dead-reg analysis (2.2)", "create {$20} (optimized)",
+           speedup("sw/example/scalar", "sw/example/deadreg"),
+           ReportTable::count(
+               r.result("sw/example/deadreg").instructions) +
+               " instrs"});
+    t.row({"dead-reg analysis (2.2)", "conservative mask+releases",
+           speedup("sw/example/scalar", "sw/example/consmask"),
+           ReportTable::count(
+               r.result("sw/example/consmask").instructions) +
+               " instrs"});
+    t.row({"work-list restruct (3.2.3)", "work list (restructured)",
+           speedup("sw/sc/scalar", "sw/sc/worklist"), ""});
+    t.row({"work-list restruct (3.2.3)", "all cells (original)",
+           speedup("sw/sc/scalar", "sw/sc/grid"), ""});
+    t.row({"data-comm sync (3.1.1)", "squashing (baseline)",
+           speedup("sw/gcc/scalar", "sw/gcc/squashing"),
+           ReportTable::count(
+               r.result("sw/gcc/squashing").memorySquashes) +
+               " mem squashes"});
+    t.row({"data-comm sync (3.1.1)", "register-synchronized",
+           speedup("sw/gcc/scalar", "sw/gcc/synchronized"),
+           ReportTable::count(
+               r.result("sw/gcc/synchronized").memorySquashes) +
+               " mem squashes"});
+    t.row({"early validation (3.1.2)", "bottom-tested loop",
+           speedup("sw/wc/scalar", "sw/wc/bottomtest"),
+           ReportTable::count(
+               r.result("sw/wc/bottomtest").squashedInstructions) +
+               " squashed instrs"});
+    t.row({"early validation (3.1.2)", "top-tested (early valid.)",
+           speedup("sw/wc/scalar", "sw/wc/earlyvalidate"),
+           ReportTable::count(
+               r.result("sw/wc/earlyvalidate").squashedInstructions) +
+               " squashed instrs"});
+    t.print();
+}
+
+} // namespace msim::bench
+
+#endif // MSIM_BENCH_SUITES_HH

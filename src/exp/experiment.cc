@@ -1,0 +1,32 @@
+#include "exp/experiment.hh"
+
+#include "common/logging.hh"
+
+namespace msim::exp {
+
+void
+Experiment::add(const std::string &cell_name,
+                const std::string &workload, const RunSpec &spec,
+                unsigned scale)
+{
+    fatalIf(!names_.insert(cell_name).second, "experiment '", name_,
+            "': duplicate cell '", cell_name, "'");
+    Cell cell;
+    cell.name = cell_name;
+    cell.workload = workload;
+    cell.scale = scale;
+    cell.spec = spec;
+    cells_.push_back(std::move(cell));
+}
+
+std::size_t
+Experiment::uniqueCompileKeys() const
+{
+    std::set<std::string> keys;
+    for (const Cell &c : cells_)
+        keys.insert(ProgramCache::key(c.workload, c.spec.multiscalar,
+                                      c.spec.defines, c.scale));
+    return keys.size();
+}
+
+} // namespace msim::exp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Declarative experiments.
+ *
+ * An Experiment is a named, ordered list of cells; a cell is one
+ * (workload × machine configuration) point of the paper's evaluation,
+ * identified by a unique name. Experiments only describe work — the
+ * SweepScheduler (scheduler.hh) executes them, and cell registration
+ * order fixes the result order regardless of completion order.
+ */
+
+#ifndef MSIM_EXP_EXPERIMENT_HH
+#define MSIM_EXP_EXPERIMENT_HH
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace msim::exp {
+
+/** One (workload, configuration) point of an evaluation sweep. */
+struct Cell
+{
+    /** Unique cell name (report key, e.g. "table3/wc/scalar_1way"). */
+    std::string name;
+    /** Registry workload to run. */
+    std::string workload;
+    /** Workload input scale (1 = the paper's default). */
+    unsigned scale = 1;
+    /** Machine configuration. */
+    RunSpec spec;
+};
+
+/** A named set of cells, executed together by the SweepScheduler. */
+class Experiment
+{
+  public:
+    explicit Experiment(std::string name) : name_(std::move(name)) {}
+
+    /** Append a cell (FatalError on duplicate cell names). */
+    void add(const std::string &cell_name,
+             const std::string &workload, const RunSpec &spec,
+             unsigned scale = 1);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Cell> &cells() const { return cells_; }
+    std::size_t size() const { return cells_.size(); }
+
+    /**
+     * Number of distinct (workload, mode, defines, scale) compilation
+     * points among the cells — the exact number of assemblies a
+     * ProgramCache-backed sweep must perform.
+     */
+    std::size_t uniqueCompileKeys() const;
+
+  private:
+    std::string name_;
+    std::vector<Cell> cells_;
+    std::set<std::string> names_;
+};
+
+} // namespace msim::exp
+
+#endif // MSIM_EXP_EXPERIMENT_HH

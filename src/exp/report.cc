@@ -1,0 +1,171 @@
+#include "exp/report.hh"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "trace/cycle_accounting.hh"
+
+namespace msim::exp {
+
+void
+ReportTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+ReportTable::row(std::vector<std::string> cells)
+{
+    cells.resize(header_.empty() ? cells.size() : header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+ReportTable::print(std::FILE *out) const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > width.size())
+            width.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const int w = int(width[i]);
+            if (i == 0)
+                std::fprintf(out, "%-*s", w, cells[i].c_str());
+            else
+                std::fprintf(out, "  %*s", w, cells[i].c_str());
+        }
+        std::fprintf(out, "\n");
+    };
+
+    if (!title_.empty())
+        std::fprintf(out, "\n%s\n", title_.c_str());
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+ReportTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+ReportTable::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  100.0 * fraction);
+    return buf;
+}
+
+std::string
+ReportTable::count(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+writeCell(std::ostream &os, const CellResult &c)
+{
+    const RunResult &r = c.result;
+    os << "    {\n";
+    os << "      \"name\": \"" << jsonEscape(c.name) << "\",\n";
+    os << "      \"workload\": \"" << jsonEscape(c.workload)
+       << "\",\n";
+    os << "      \"ok\": " << (c.ok ? "true" : "false") << ",\n";
+    if (c.ok)
+        os << "      \"error\": null,\n";
+    else
+        os << "      \"error\": \"" << jsonEscape(c.error) << "\",\n";
+    os << "      \"wall_seconds\": " << c.wallSeconds << ",\n";
+    os << "      \"cycles\": " << r.cycles << ",\n";
+    os << "      \"instructions\": " << r.instructions << ",\n";
+    os << "      \"squashed_instructions\": " << r.squashedInstructions
+       << ",\n";
+    os << "      \"ipc\": " << r.ipc() << ",\n";
+    os << "      \"tasks_retired\": " << r.tasksRetired << ",\n";
+    os << "      \"tasks_squashed\": " << r.tasksSquashed << ",\n";
+    os << "      \"task_predictions\": " << r.taskPredictions << ",\n";
+    os << "      \"task_pred_hits\": " << r.taskPredHits << ",\n";
+    os << "      \"pred_accuracy\": " << r.predAccuracy() << ",\n";
+    os << "      \"control_squashes\": " << r.controlSquashes << ",\n";
+    os << "      \"memory_squashes\": " << r.memorySquashes << ",\n";
+    os << "      \"arb_full_squashes\": " << r.arbFullSquashes
+       << ",\n";
+    os << "      \"accounting\": {";
+    bool first = true;
+    for (std::size_t i = 0; i < kNumCycleCats; ++i) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << cycleCatName(CycleCat(i))
+           << "\": " << r.accounting[CycleCat(i)];
+    }
+    os << "}\n";
+    os << "    }";
+}
+
+} // namespace
+
+void
+writeJsonReport(std::ostream &os, const SweepResult &sweep)
+{
+    os << "{\n";
+    os << "  \"schema\": \"msim-sweep-v1\",\n";
+    os << "  \"experiment\": \"" << jsonEscape(sweep.experiment)
+       << "\",\n";
+    os << "  \"jobs\": " << sweep.jobs << ",\n";
+    os << "  \"wall_seconds\": " << sweep.wallSeconds << ",\n";
+    os << "  \"cells_total\": " << sweep.cells.size() << ",\n";
+    os << "  \"cells_failed\": " << sweep.failures() << ",\n";
+    os << "  \"program_cache\": {\"hits\": " << sweep.cacheHits
+       << ", \"misses\": " << sweep.cacheMisses << "},\n";
+    os << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+        writeCell(os, sweep.cells[i]);
+        os << (i + 1 < sweep.cells.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+} // namespace msim::exp

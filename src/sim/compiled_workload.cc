@@ -1,0 +1,107 @@
+#include "sim/compiled_workload.hh"
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+
+namespace msim {
+
+std::shared_ptr<const CompiledWorkload>
+compileWorkload(const workloads::Workload &workload, bool multiscalar,
+                const std::set<std::string> &defines, unsigned scale)
+{
+    assembler::AsmOptions opts;
+    opts.multiscalar = multiscalar;
+    opts.defines = defines;
+    opts.fileName = workload.name + (multiscalar ? ".ms.s" : ".sc.s");
+
+    auto cw = std::make_shared<CompiledWorkload>();
+    cw->workload = workload;
+    cw->program = assembler::assemble(workload.source, opts);
+    cw->multiscalar = multiscalar;
+    cw->defines = defines;
+    cw->scale = scale;
+    return cw;
+}
+
+std::shared_ptr<const CompiledWorkload>
+compileWorkload(const std::string &name, bool multiscalar,
+                const std::set<std::string> &defines, unsigned scale)
+{
+    return compileWorkload(workloads::get(name, scale), multiscalar,
+                           defines, scale);
+}
+
+std::string
+ProgramCache::key(const std::string &name, bool multiscalar,
+                  const std::set<std::string> &defines, unsigned scale)
+{
+    std::string k = name;
+    k += multiscalar ? "|ms|" : "|sc|";
+    for (const std::string &d : defines) {
+        k += d;
+        k += ',';
+    }
+    k += '|';
+    k += std::to_string(scale);
+    return k;
+}
+
+std::shared_ptr<const CompiledWorkload>
+ProgramCache::get(const std::string &name, bool multiscalar,
+                  const std::set<std::string> &defines, unsigned scale)
+{
+    const std::string k = key(name, multiscalar, defines, scale);
+
+    std::promise<Ptr> promise;
+    std::shared_future<Ptr> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(k);
+        if (it != entries_.end()) {
+            ++hits_;
+            future = it->second;
+        } else {
+            ++misses_;
+            owner = true;
+            future = promise.get_future().share();
+            entries_.emplace(k, future);
+        }
+    }
+    if (owner) {
+        // Assemble outside the lock so distinct keys compile in
+        // parallel; same-key waiters block on the future instead.
+        try {
+            promise.set_value(
+                compileWorkload(name, multiscalar, defines, scale));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+std::uint64_t
+ProgramCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+ProgramCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+void
+ProgramCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace msim

@@ -17,42 +17,61 @@ assembleWorkload(const workloads::Workload &workload, bool multiscalar,
     return assembler::assemble(workload.source, opts);
 }
 
+namespace {
+
+/** Build a processor, run the session, return the raw result. */
+template <typename Proc, typename Config>
+RunResult
+runSession(const CompiledWorkload &compiled, Config cfg,
+           const RunSpec &spec)
+{
+    if (spec.trace.enabled)
+        cfg.trace = spec.trace;
+    Proc proc(compiled.program, cfg);
+    if (compiled.workload.init)
+        compiled.workload.init(proc.memory(), compiled.program);
+    proc.setInput(compiled.workload.input);
+    return proc.run(spec.maxCycles);
+}
+
+} // namespace
+
+RunResult
+runCompiled(const CompiledWorkload &compiled, const RunSpec &spec)
+{
+    fatalIf(spec.multiscalar != compiled.multiscalar,
+            "runCompiled: spec wants the ",
+            spec.multiscalar ? "multiscalar" : "scalar",
+            " machine but '", compiled.workload.name,
+            "' was assembled for the ",
+            compiled.multiscalar ? "multiscalar" : "scalar", " one");
+    fatalIf(spec.defines != compiled.defines,
+            "runCompiled: spec defines differ from the ones '",
+            compiled.workload.name, "' was assembled with");
+
+    RunResult result =
+        spec.multiscalar
+            ? runSession<MultiscalarProcessor>(compiled, spec.ms, spec)
+            : runSession<ScalarProcessor>(compiled, spec.scalar, spec);
+
+    fatalIf(!result.exited, "workload ", compiled.workload.name,
+            " did not finish within ", spec.maxCycles, " cycles");
+    if (spec.checkOutput) {
+        fatalIf(result.output != compiled.workload.expected,
+                "workload ", compiled.workload.name,
+                " produced wrong output.\n  expected: ",
+                compiled.workload.expected, "\n  actual:   ",
+                result.output);
+    }
+    return result;
+}
+
 RunResult
 runWorkload(const workloads::Workload &workload, const RunSpec &spec)
 {
-    Program prog =
-        assembleWorkload(workload, spec.multiscalar, spec.defines);
-
-    RunResult result;
-    if (spec.multiscalar) {
-        MsConfig cfg = spec.ms;
-        if (spec.trace.enabled)
-            cfg.trace = spec.trace;
-        MultiscalarProcessor proc(prog, cfg);
-        if (workload.init)
-            workload.init(proc.memory(), prog);
-        proc.setInput(workload.input);
-        result = proc.run(spec.maxCycles);
-    } else {
-        ScalarConfig cfg = spec.scalar;
-        if (spec.trace.enabled)
-            cfg.trace = spec.trace;
-        ScalarProcessor proc(prog, cfg);
-        if (workload.init)
-            workload.init(proc.memory(), prog);
-        proc.setInput(workload.input);
-        result = proc.run(spec.maxCycles);
-    }
-
-    fatalIf(!result.exited, "workload ", workload.name,
-            " did not finish within ", spec.maxCycles, " cycles");
-    if (spec.checkOutput) {
-        fatalIf(result.output != workload.expected,
-                "workload ", workload.name,
-                " produced wrong output.\n  expected: ",
-                workload.expected, "\n  actual:   ", result.output);
-    }
-    return result;
+    auto compiled =
+        compileWorkload(workload, spec.multiscalar, spec.defines);
+    return runCompiled(*compiled, spec);
 }
 
 } // namespace msim

@@ -1,9 +1,20 @@
 /**
  * @file
- * Convenience harness: assemble a workload, build a processor,
- * initialize inputs, run, and verify the output against the
- * workload's golden model. All benchmarks and most integration tests
- * go through this interface.
+ * The run path, layered for re-entrancy:
+ *
+ *   compileWorkload / ProgramCache  (compiled_workload.hh)
+ *           │  immutable CompiledWorkload, shareable across threads
+ *           ▼
+ *   runCompiled(compiled, spec)     — one stateless session: builds a
+ *           │                         fresh processor + memory, runs,
+ *           │                         verifies against the golden model
+ *           ▼
+ *   runWorkload(workload, spec)     — convenience one-shot (compile +
+ *                                     run, no caching)
+ *
+ * All benchmarks and most integration tests go through this
+ * interface; the parallel sweep engine (src/exp) calls runCompiled
+ * from its worker threads.
  */
 
 #ifndef MSIM_SIM_RUNNER_HH
@@ -16,6 +27,7 @@
 #include "core/ms_config.hh"
 #include "core/run_result.hh"
 #include "core/scalar_processor.hh"
+#include "sim/compiled_workload.hh"
 #include "trace/trace_config.hh"
 #include "workloads/workload.hh"
 
@@ -41,11 +53,28 @@ struct RunSpec
 };
 
 /**
- * Assemble and run a workload under the given spec.
+ * Run one simulation session over a compiled workload.
  *
- * Throws FatalError when the program does not assemble, does not
- * terminate within maxCycles, or (with checkOutput) produces output
- * different from the golden model.
+ * Stateless and re-entrant: every piece of mutable state (processor,
+ * memory image, syscall handler) is built locally, and @p compiled is
+ * only read. Any number of threads may run the same CompiledWorkload
+ * concurrently; identical (compiled, spec) sessions produce
+ * bit-identical RunResults.
+ *
+ * The spec's mode and defines must match what @p compiled was
+ * assembled with (FatalError otherwise — the mismatch would silently
+ * run the wrong binary).
+ *
+ * Throws FatalError when the program does not terminate within
+ * maxCycles or (with checkOutput) produces output different from the
+ * golden model.
+ */
+RunResult runCompiled(const CompiledWorkload &compiled,
+                      const RunSpec &spec);
+
+/**
+ * Assemble and run a workload under the given spec (one-shot
+ * convenience wrapper: compileWorkload + runCompiled, no caching).
  */
 RunResult runWorkload(const workloads::Workload &workload,
                       const RunSpec &spec);

@@ -18,7 +18,15 @@
  *    wall-clock ratio is recorded (sweepScaling benchmark counters,
  *    visible in --benchmark_format=json) so the perf trajectory
  *    captures the parallel-sweep speedup alongside raw simulator
- *    throughput.
+ *    throughput;
+ *
+ *  - fast-forward before/after: every paper workload is run in both
+ *    machine modes with the quiescence fast-forward disabled and
+ *    enabled. The binary fails (exit 1) when the two runs disagree on
+ *    the cycle count — the fast-forward must be cycle-exact — and the
+ *    measured simulated-cycles-per-second for both configurations,
+ *    plus the speedup, is written to BENCH_sim_throughput.json in the
+ *    current directory for the perf trajectory.
  */
 
 #include <benchmark/benchmark.h>
@@ -217,6 +225,137 @@ checkDisabledFastPath()
     return 0;
 }
 
+/**
+ * The fast-forward before/after report: wall time of one full run of
+ * every workload in both machine modes with MsConfig/ScalarConfig::
+ * fastForward off and on. The cycle counts must be identical (the
+ * fast-forward is cycle-exact by construction and by the golden-cycle
+ * snapshot tests; this guard catches a drift that slipped past both).
+ * Writes BENCH_sim_throughput.json with the machine-readable numbers.
+ *
+ * @return 0 on success, 1 on a cycle mismatch.
+ */
+int
+reportFastForward()
+{
+    struct Row
+    {
+        std::string name;
+        std::uint64_t cycles = 0;
+        std::uint64_t ffCycles = 0;
+        double secOff = 0, secOn = 0;
+    };
+    constexpr int kReps = 3;
+    std::vector<Row> rows;
+    int rc = 0;
+
+    for (const auto &[name, factory] : workloads::registry()) {
+        (void)factory;
+        const workloads::Workload w = workloads::get(name);
+        // Two machine points per mode: the paper's default memory
+        // system, and the long-latency memory of the sensitivity
+        // analysis (100-cycle first beat, small caches) where stall
+        // spans dominate and the fast-forward should pay off.
+        for (int cfg = 0; cfg < 4; ++cfg) {
+            const bool multiscalar = cfg & 1;
+            const bool slow_mem = cfg & 2;
+            RunSpec off;
+            off.multiscalar = multiscalar;
+            off.ms.fastForward = false;
+            off.scalar.fastForward = false;
+            if (slow_mem) {
+                off.ms.bus.firstBeatLatency = 100;
+                off.scalar.bus.firstBeatLatency = 100;
+                off.ms.icache.sizeBytes = 2 * 1024;
+                off.scalar.icache.sizeBytes = 2 * 1024;
+                off.ms.bankSizeBytes = 1024;
+                off.scalar.dcache.sizeBytes = 2 * 1024;
+            }
+            RunSpec on = off;
+            on.ms.fastForward = true;
+            on.scalar.fastForward = true;
+
+            Row row;
+            row.name = name + (multiscalar ? "/ms4" : "/scalar") +
+                       (slow_mem ? "-slowmem" : "");
+            const RunResult r_off = runWorkload(w, off);
+            const RunResult r_on = runWorkload(w, on);
+            row.cycles = r_off.cycles;
+            row.ffCycles = r_on.fastForwardedCycles;
+            if (r_on.cycles != r_off.cycles) {
+                std::fprintf(stderr,
+                             "FAIL: %s simulates %llu cycles with "
+                             "fast-forward but %llu without\n",
+                             row.name.c_str(),
+                             (unsigned long long)r_on.cycles,
+                             (unsigned long long)r_off.cycles);
+                rc = 1;
+            }
+            std::vector<double> ts_off, ts_on;
+            for (int i = 0; i < kReps; ++i) {
+                ts_off.push_back(runSeconds(w, off));
+                ts_on.push_back(runSeconds(w, on));
+            }
+            row.secOff = median(ts_off);
+            row.secOn = median(ts_on);
+            rows.push_back(row);
+        }
+    }
+
+    std::printf("\nFast-forward before/after (median of %d runs):\n",
+                kReps);
+    std::printf("  %-18s %12s %14s %14s %8s\n", "workload", "cycles",
+                "Mc/s ff=off", "Mc/s ff=on", "speedup");
+    double best = 0;
+    std::string best_name;
+    for (const Row &r : rows) {
+        const double cps_off = double(r.cycles) / r.secOff;
+        const double cps_on = double(r.cycles) / r.secOn;
+        const double speedup = r.secOff / r.secOn;
+        if (speedup > best) {
+            best = speedup;
+            best_name = r.name;
+        }
+        std::printf("  %-18s %12llu %14.2f %14.2f %7.2fx\n",
+                    r.name.c_str(), (unsigned long long)r.cycles,
+                    cps_off / 1e6, cps_on / 1e6, speedup);
+    }
+    std::printf("  best speedup: %.2fx (%s)\n", best,
+                best_name.c_str());
+
+    std::FILE *json = std::fopen("BENCH_sim_throughput.json", "w");
+    if (!json) {
+        std::fprintf(stderr,
+                     "FAIL: cannot write BENCH_sim_throughput.json\n");
+        return 1;
+    }
+    std::fprintf(json, "{\n  \"schema\": \"msim-bench-throughput-v1\","
+                       "\n  \"reps\": %d,\n  \"workloads\": [\n",
+                 kReps);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            json,
+            "    { \"name\": \"%s\", \"cycles\": %llu, "
+            "\"fast_forwarded_cycles\": %llu, "
+            "\"wall_s_ff_off\": %.6f, \"wall_s_ff_on\": %.6f, "
+            "\"sim_cycles_per_s_ff_off\": %.1f, "
+            "\"sim_cycles_per_s_ff_on\": %.1f, "
+            "\"speedup\": %.4f }%s\n",
+            r.name.c_str(), (unsigned long long)r.cycles,
+            (unsigned long long)r.ffCycles, r.secOff, r.secOn,
+            double(r.cycles) / r.secOff, double(r.cycles) / r.secOn,
+            r.secOff / r.secOn, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"best_speedup\": %.4f,\n"
+                 "  \"best_speedup_workload\": \"%s\"\n}\n",
+                 best, best_name.c_str());
+    std::fclose(json);
+    std::printf("  wrote BENCH_sim_throughput.json\n");
+    return rc;
+}
+
 /** Informational serial-vs-parallel summary after the benchmarks. */
 void
 printSweepScalingSummary()
@@ -245,5 +384,7 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printSweepScalingSummary();
-    return checkDisabledFastPath();
+    const int ff_rc = reportFastForward();
+    const int fastpath_rc = checkDisabledFastPath();
+    return ff_rc != 0 ? ff_rc : fastpath_rc;
 }

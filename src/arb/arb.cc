@@ -13,10 +13,12 @@ Arb::Arb(StatGroup &stats, MainMemory &mem, const Params &params,
 {
     fatalIf(params.numBanks == 0, "ARB needs at least one bank");
     fatalIf(params.entriesPerBank == 0, "ARB needs at least one entry");
+    for (Bank &bank : banks_)
+        bank.reserve(params.entriesPerBank);
 }
 
 Arb::TaskRecord *
-Arb::findRecord(Entry &entry, TaskSeq seq, bool create)
+Arb::findRecord(Entry &entry, TaskSeq seq, bool create, bool *created)
 {
     auto it = std::lower_bound(
         entry.records.begin(), entry.records.end(), seq,
@@ -27,6 +29,8 @@ Arb::findRecord(Entry &entry, TaskSeq seq, bool create)
         return nullptr;
     TaskRecord rec;
     rec.seq = seq;
+    if (created)
+        *created = true;
     return &*entry.records.insert(it, rec);
 }
 
@@ -97,7 +101,10 @@ Arb::load(TaskSeq seq, Addr addr, unsigned size, bool is_head)
                     entry = &bank[g];
                     it = bank.find(g);
                 }
-                TaskRecord *rec = findRecord(*entry, seq, true);
+                bool created = false;
+                TaskRecord *rec = findRecord(*entry, seq, true, &created);
+                if (created)
+                    touched_[seq].push_back(g);
                 rec->loadMask |= std::uint8_t(1u << b);
             }
         }
@@ -167,7 +174,10 @@ Arb::store(TaskSeq seq, Addr addr, unsigned size, std::uint64_t value,
                             "hasSpaceFor first");
                     entry = &bank[g];
                 }
-                TaskRecord *rec = findRecord(*entry, seq, true);
+                bool created = false;
+                TaskRecord *rec = findRecord(*entry, seq, true, &created);
+                if (created)
+                    touched_[seq].push_back(g);
                 for (unsigned b = lo; b < hi; ++b) {
                     rec->bytes[b] = bytes[g + b - addr];
                     rec->storeMask |= std::uint8_t(1u << b);
@@ -191,52 +201,60 @@ Arb::store(TaskSeq seq, Addr addr, unsigned size, std::uint64_t value,
 void
 Arb::commit(TaskSeq seq)
 {
-    for (Bank &bank : banks_) {
-        for (auto it = bank.begin(); it != bank.end();) {
-            Entry &entry = it->second;
-            auto rit = std::find_if(
-                entry.records.begin(), entry.records.end(),
-                [&](const TaskRecord &r) { return r.seq == seq; });
-            if (rit != entry.records.end()) {
-                panicIf(rit != entry.records.begin(),
-                        "ARB commit out of task order");
-                if (rit->storeMask) {
-                    for (unsigned b = 0; b < kGranule; ++b) {
-                        if (rit->storeMask & (1u << b))
-                            mem_.write(it->first + b, rit->bytes[b], 1);
-                    }
-                    stats_.add("committedStores");
-                }
-                entry.records.erase(rit);
+    auto tit = touched_.find(seq);
+    if (tit == touched_.end())
+        return;  // the task never allocated a record
+    for (Addr g : tit->second) {
+        Bank &bank = banks_[bankOf(g)];
+        auto it = bank.find(g);
+        panicIf(it == bank.end(),
+                "ARB commit: touched granule has no entry");
+        Entry &entry = it->second;
+        auto rit = std::find_if(
+            entry.records.begin(), entry.records.end(),
+            [&](const TaskRecord &r) { return r.seq == seq; });
+        panicIf(rit == entry.records.end(),
+                "ARB commit: touched granule has no record");
+        panicIf(rit != entry.records.begin(),
+                "ARB commit out of task order");
+        if (rit->storeMask) {
+            for (unsigned b = 0; b < kGranule; ++b) {
+                if (rit->storeMask & (1u << b))
+                    mem_.write(g + b, rit->bytes[b], 1);
             }
-            if (entry.records.empty())
-                it = bank.erase(it);
-            else
-                ++it;
+            stats_.add("committedStores");
         }
+        entry.records.erase(rit);
+        if (entry.records.empty())
+            bank.erase(it);
     }
+    touched_.erase(tit);
 }
 
 void
 Arb::squash(TaskSeq seq)
 {
-    for (Bank &bank : banks_) {
-        for (auto it = bank.begin(); it != bank.end();) {
-            Entry &entry = it->second;
-            auto rit = std::find_if(
-                entry.records.begin(), entry.records.end(),
-                [&](const TaskRecord &r) { return r.seq == seq; });
-            if (rit != entry.records.end()) {
-                if (rit->storeMask)
-                    stats_.add("squashedStores");
-                entry.records.erase(rit);
-            }
-            if (entry.records.empty())
-                it = bank.erase(it);
-            else
-                ++it;
-        }
+    auto tit = touched_.find(seq);
+    if (tit == touched_.end())
+        return;  // the task never allocated a record
+    for (Addr g : tit->second) {
+        Bank &bank = banks_[bankOf(g)];
+        auto it = bank.find(g);
+        panicIf(it == bank.end(),
+                "ARB squash: touched granule has no entry");
+        Entry &entry = it->second;
+        auto rit = std::find_if(
+            entry.records.begin(), entry.records.end(),
+            [&](const TaskRecord &r) { return r.seq == seq; });
+        panicIf(rit == entry.records.end(),
+                "ARB squash: touched granule has no record");
+        if (rit->storeMask)
+            stats_.add("squashedStores");
+        entry.records.erase(rit);
+        if (entry.records.empty())
+            bank.erase(it);
     }
+    touched_.erase(tit);
 }
 
 size_t
@@ -253,6 +271,7 @@ Arb::clear()
 {
     for (Bank &bank : banks_)
         bank.clear();
+    touched_.clear();
 }
 
 } // namespace msim

@@ -144,8 +144,21 @@ class Arb
     Tracer *tracer_ = nullptr;
     std::vector<Bank> banks_;
 
-    /** Find (or conditionally create) the record for seq in entry. */
-    static TaskRecord *findRecord(Entry &entry, TaskSeq seq, bool create);
+    /**
+     * Granules each live task has a record in, so commit and squash
+     * visit exactly the task's own entries instead of scanning every
+     * bank. A granule appears at most once per task: a record is
+     * created at most once per (seq, granule) and TaskSeq values are
+     * never reused.
+     */
+    std::unordered_map<TaskSeq, std::vector<Addr>> touched_;
+
+    /**
+     * Find (or conditionally create) the record for seq in entry.
+     * Sets @p created when a record was inserted.
+     */
+    static TaskRecord *findRecord(Entry &entry, TaskSeq seq, bool create,
+                                  bool *created = nullptr);
 
     /** Visit the granules an access covers. */
     template <typename Fn>

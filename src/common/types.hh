@@ -19,6 +19,13 @@ using Word = std::uint32_t;
 /** A simulation cycle count. */
 using Cycle = std::uint64_t;
 
+/**
+ * Sentinel for "no scheduled event": a component returns this from
+ * its next-event query when nothing will ever wake it without
+ * external input (see the fast-forward loop in src/core/).
+ */
+inline constexpr Cycle kCycleNever = ~Cycle(0);
+
 /** A monotonically increasing task sequence number. */
 using TaskSeq = std::uint64_t;
 

@@ -58,6 +58,16 @@ struct MsConfig
     /** Event tracing (off by default; see src/trace/). */
     TraceConfig trace;
 
+    /**
+     * Cycle-exact fast-forward: when every component is quiescent,
+     * the run loop jumps straight to the next scheduled event
+     * instead of ticking the stalled cycles one by one. Observable
+     * timing (cycle counts, accounting, results) is bit-identical
+     * either way — the golden-cycle snapshot tests verify it. The
+     * MSIM_NO_FASTFORWARD environment variable force-disables it.
+     */
+    bool fastForward = true;
+
     /** @return the effective number of data banks. */
     unsigned
     effectiveBanks() const

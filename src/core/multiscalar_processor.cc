@@ -78,6 +78,10 @@ MultiscalarProcessor::MultiscalarProcessor(const Program &program,
             &acct_, tracer));
     }
     taskInfo_.resize(config.numUnits);
+    // Tracing wants a sample of every cycle, so skipping is reserved
+    // for untraced runs (where the hot loop must stay lean anyway).
+    fastForward_ = config.fastForward && !tracer_ &&
+                   !std::getenv("MSIM_NO_FASTFORWARD");
 }
 
 void
@@ -542,6 +546,54 @@ MultiscalarProcessor::unitsPhase(Cycle now)
         pu(unitAt(p)).tick(now);
 }
 
+Cycle
+MultiscalarProcessor::nextEventCycle(Cycle now) const
+{
+    const Cycle soon = now + 1;
+    // Cheap pre-filter: a unit whose last tick changed state may act
+    // again immediately — don't bother scanning windows.
+    for (unsigned u = 0; u < config_.numUnits; ++u) {
+        if (!pu(u).quiescentLastTick())
+            return soon;
+    }
+    // Ring traffic is delivered (and re-launched) every tick; any
+    // queued or in-flight message means progress next cycle.
+    if (!ring_->idle())
+        return soon;
+    // A done head task retires next cycle.
+    if (numActive_ > 0 && pu(unitAt(0)).isDone())
+        return soon;
+    Cycle next = kCycleNever;
+    // The sequencer: a descriptor fetch in flight has a known ready
+    // cycle; otherwise an unblocked walk acts (starts a descriptor
+    // access or assigns) next cycle.
+    if (nextTaskAddr_ && numActive_ < config_.numUnits) {
+        if (descFetchAddr_ == *nextTaskAddr_ && now < descReadyAt_)
+            next = descReadyAt_;
+        else
+            return soon;
+    }
+    for (unsigned u = 0; u < config_.numUnits; ++u) {
+        const Cycle e = pu(u).nextEventCycle(now);
+        if (e <= soon)
+            return soon;
+        if (e < next)
+            next = e;
+    }
+    return next;
+}
+
+void
+MultiscalarProcessor::accountSkip(std::uint64_t n)
+{
+    for (unsigned u = 0; u < config_.numUnits; ++u)
+        pu(u).accountSkippedCycles(n);
+    result_.idleCycles += (config_.numUnits - numActive_) * n;
+    result_.fastForwardedCycles += n;
+    coreStats_->add("ffJumps");
+    coreStats_->add("ffSkippedCycles", n);
+}
+
 RunResult
 MultiscalarProcessor::run(Cycle max_cycles)
 {
@@ -604,6 +656,25 @@ MultiscalarProcessor::run(Cycle max_cycles)
             }
             panic(os.str());
         }
+
+        // Cycle-exact fast-forward: when every component is
+        // quiescent until some future cycle, the skipped cycles are
+        // provably pure stalls — bulk-account them and jump. A
+        // kCycleNever result (nothing scheduled at all) falls back
+        // to stepping so the deadlock watchdog above still fires.
+        if (fastForward_) {
+            const Cycle next = nextEventCycle(now);
+            if (next > now + 1 && next != kCycleNever) {
+                const Cycle target = next < max_cycles ? next
+                                                       : max_cycles;
+                if (target > now + 1) {
+                    const std::uint64_t n = target - now - 1;
+                    accountSkip(n);
+                    cycles_done += n;
+                    now += n;
+                }
+            }
+        }
     }
 
     // Fold the remaining active tasks: the head is architecturally
@@ -626,6 +697,7 @@ MultiscalarProcessor::run(Cycle max_cycles)
 
     result_.cycles = cycles_done;
     result_.exited = syscalls_->exited();
+    result_.hitMaxCycles = !result_.exited;
     result_.output = syscalls_->output();
     result_.accounting = acct_.finish(cycles_done);
     acct_.exportStats(stats_.group("cycles"));

@@ -126,12 +126,25 @@ class MultiscalarProcessor : public PuContext
     void retirePhase(Cycle now);
     void assignPhase(Cycle now);
 
+    /**
+     * The earliest cycle after @p now at which any component (ring,
+     * sequencer, retirement, any processing unit) can make progress.
+     * Side-effect free; called after a full cycle has been ticked.
+     * now + 1 means "no skip possible"; kCycleNever means nothing is
+     * scheduled (a stopped walk with no active task — deadlock).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /** Bulk-account @p n skipped quiescent cycles on every unit. */
+    void accountSkip(std::uint64_t n);
+
     // --- helpers ------------------------------------------------------
     unsigned unitAt(unsigned position) const;
     unsigned positionOf(unsigned unit) const;
     bool unitIsHead(unsigned unit) const;
     TaskSeq seqOf(unsigned unit) const;
     ProcessingUnit &pu(unsigned unit) { return *units_[unit]; }
+    const ProcessingUnit &pu(unsigned unit) const { return *units_[unit]; }
 
     /** Squash every active task with seq >= @p from. */
     void squashFrom(TaskSeq from, const char *reason);
@@ -198,6 +211,13 @@ class MultiscalarProcessor : public PuContext
     /** Accumulating results. */
     RunResult result_;
     bool started_ = false;
+
+    /**
+     * Cycle-exact fast-forward enabled for this run (config flag,
+     * minus the MSIM_NO_FASTFORWARD escape hatch, minus tracing —
+     * skipping would drop per-cycle trace samples).
+     */
+    bool fastForward_ = false;
 };
 
 } // namespace msim

@@ -30,8 +30,21 @@ struct RunResult
     std::uint64_t squashedInstructions = 0;
     /** True when the program ran to its exit syscall. */
     bool exited = false;
+    /**
+     * True when the run stopped because it exhausted its cycle
+     * budget (RunSpec::maxCycles) instead of exiting — a distinct
+     * error condition, not a normal exit.
+     */
+    bool hitMaxCycles = false;
     /** Everything the program printed. */
     std::string output;
+
+    /**
+     * Cycles covered by the quiescence fast-forward instead of being
+     * ticked individually (included in @ref cycles; identical timing
+     * either way). Zero when fast-forward is disabled.
+     */
+    std::uint64_t fastForwardedCycles = 0;
 
     /** Tasks retired / squashed. */
     std::uint64_t tasksRetired = 0;

@@ -1,5 +1,7 @@
 #include "core/scalar_processor.hh"
 
+#include <cstdlib>
+
 #include "common/logging.hh"
 #include "isa/registers.hh"
 
@@ -32,6 +34,8 @@ ScalarProcessor::ScalarProcessor(const Program &program,
     unit_ = std::make_unique<ProcessingUnit>(0, config.pu, *this,
                                              stats_.group("pu0"),
                                              &acct_, tracer);
+    fastForward_ = config.fastForward && !tracer_ &&
+                   !std::getenv("MSIM_NO_FASTFORWARD");
 }
 
 void
@@ -74,11 +78,31 @@ ScalarProcessor::run(Cycle max_cycles)
                 "scalar processor made no progress for 100000 cycles "
                 "(pc region near 0x", std::hex,
                 program_.entry, std::dec, ")");
+
+        // Cycle-exact fast-forward: the single unit is the only
+        // event source (the caches and bus are call-time models), so
+        // when it is quiescent until a known cycle the intervening
+        // stall cycles can be bulk-accounted and skipped.
+        if (fastForward_ && unit_->quiescentLastTick()) {
+            const Cycle next = unit_->nextEventCycle(now);
+            if (next > now + 1 && next != kCycleNever) {
+                const Cycle target = next < max_cycles ? next
+                                                       : max_cycles;
+                if (target > now + 1) {
+                    const std::uint64_t n = target - now - 1;
+                    unit_->accountSkippedCycles(n);
+                    cycles_done += n;
+                    result.fastForwardedCycles += n;
+                    now += n;
+                }
+            }
+        }
     }
 
     acct_.commitTask(0);
     result.cycles = cycles_done;
     result.exited = syscalls_->exited();
+    result.hitMaxCycles = !result.exited;
     result.instructions = unit_->currentTaskStats().instructions;
     result.usefulCycles = unit_->currentTaskStats().cycles;
     result.tasksRetired = 1;

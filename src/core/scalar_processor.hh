@@ -38,6 +38,9 @@ struct ScalarConfig
 
     /** Event tracing (off by default; see src/trace/). */
     TraceConfig trace;
+
+    /** Cycle-exact fast-forward (see MsConfig::fastForward). */
+    bool fastForward = true;
 };
 
 /** The scalar baseline machine. */
@@ -90,6 +93,8 @@ class ScalarProcessor : public PuContext
     std::unique_ptr<SyscallHandler> syscalls_;
     std::unique_ptr<ProcessingUnit> unit_;
     bool started_ = false;
+    /** Cycle-exact fast-forward (see MsConfig::fastForward). */
+    bool fastForward_ = false;
 };
 
 } // namespace msim

@@ -75,6 +75,8 @@ ProcessingUnit::ProcessingUnit(unsigned id, const PuConfig &config,
     if (config.intraBranchPredict)
         branchTable_.assign(config.branchPredictorEntries,
                             SatCounter(2, 1));
+    fetchBuf_.reserve(config.fetchBufferSize);
+    window_.reserve(config.windowSize);
 }
 
 void
@@ -87,6 +89,7 @@ ProcessingUnit::assignTask(TaskSeq seq, Addr start_pc,
     panicIf(status_ != Status::kFree, "assignTask to a busy unit");
     panicIf(!busy_mask.empty() && !expected_producers,
             "reserved registers need expected producers");
+    activity_ = true;
     seq_ = seq;
     createMask_ = create_mask;
     forwardedMask_ = RegMask();
@@ -117,6 +120,7 @@ ProcessingUnit::assignTask(TaskSeq seq, Addr start_pc,
 TaskStats
 ProcessingUnit::flush()
 {
+    activity_ = true;
     TaskStats out = taskStats_;
     window_.clear();
     fetchBuf_.clear();
@@ -132,6 +136,7 @@ TaskStats
 ProcessingUnit::retire()
 {
     panicIf(status_ != Status::kDone, "retire of a non-done unit");
+    activity_ = true;
     TaskStats out = taskStats_;
     status_ = Status::kFree;
     stats_.add("tasksRetired");
@@ -158,6 +163,7 @@ ProcessingUnit::deliverForward(RegIndex reg, RegValue value,
         return;
     if (producer != expectedProducer_[size_t(reg)])
         return;  // from a farther or stale producer; ignore
+    activity_ = true;
     // A local write shadows the incoming (logically older) value.
     if (!st.writerIssued && !st.writtenWB)
         st.value = value;
@@ -203,6 +209,7 @@ ProcessingUnit::forwardValue(RegIndex reg, RegValue value)
     panicIf(!createMask_.test(reg),
             "unit ", id_, " forwards ", isa::regName(reg),
             " which is not in the task's create mask");
+    activity_ = true;
     forwardedMask_.set(reg);
     forwardedValues_[size_t(reg)] = value;
     ctx_.forwardReg(id_, reg, value);
@@ -253,7 +260,7 @@ ProcessingUnit::flushYounger(size_t index)
         panicIf(window_[i].issued && !window_[i].done,
                 "flushing an in-flight younger instruction");
     }
-    window_.resize(index + 1);
+    window_.truncate(index + 1);
     fetchBuf_.clear();
     pendingFetchReady_ = 0;
 }
@@ -340,6 +347,7 @@ ProcessingUnit::completePhase(Cycle now)
         if (!slot.issued || slot.done || slot.doneAt > now)
             continue;
         slot.done = true;
+        activity_ = true;
         writeback(slot);
         const Instruction &inst = *slot.inst;
         if (inst.isControlOp()) {
@@ -354,7 +362,7 @@ ProcessingUnit::completePhase(Cycle now)
     }
     // Pop completed instructions from the window head.
     while (!window_.empty() && window_.front().done)
-        window_.erase(window_.begin());
+        window_.pop_front();
 }
 
 bool
@@ -544,6 +552,8 @@ ProcessingUnit::dispatchPhase(Cycle now)
         fetchBuf_.pop_front();
         ++moved;
     }
+    if (moved > 0)
+        activity_ = true;
 }
 
 void
@@ -556,10 +566,12 @@ ProcessingUnit::fetchPhase(Cycle now)
 
     if (pendingFetchReady_ != 0) {
         if (now < pendingFetchReady_)
-            return;  // icache miss still outstanding
+            return;  // icache miss still outstanding (quiescent)
         pendingFetchReady_ = 0;
+        activity_ = true;
     } else {
         const Cycle ready = ctx_.icacheAccess(id_, now, fetchPc_);
+        activity_ = true;
         if (ready > now + 1) {
             pendingFetchReady_ = ready;
             return;
@@ -634,7 +646,8 @@ ProcessingUnit::autoReleasePhase()
 bool
 ProcessingUnit::anyInFlight() const
 {
-    for (const Slot &slot : window_) {
+    for (size_t i = 0; i < window_.size(); ++i) {
+        const Slot &slot = window_[i];
         if (slot.issued && !slot.done)
             return true;
     }
@@ -656,7 +669,8 @@ ProcessingUnit::maybeFinish()
 bool
 ProcessingUnit::memOpInFlight() const
 {
-    for (const Slot &slot : window_) {
+    for (size_t i = 0; i < window_.size(); ++i) {
+        const Slot &slot = window_[i];
         if (slot.issued && !slot.done && slot.inst->isMemOp())
             return true;
     }
@@ -682,9 +696,9 @@ ProcessingUnit::classifyCycle(unsigned issued_count) const
 
     // Attribute the stall to the oldest un-issued instruction.
     const Slot *oldest = nullptr;
-    for (const Slot &slot : window_) {
-        if (!slot.issued) {
-            oldest = &slot;
+    for (size_t i = 0; i < window_.size(); ++i) {
+        if (!window_[i].issued) {
+            oldest = &window_[i];
             break;
         }
     }
@@ -714,6 +728,32 @@ ProcessingUnit::classifyCycle(unsigned issued_count) const
 }
 
 void
+ProcessingUnit::addToBreakdown(CycleCat cat, std::uint64_t n)
+{
+    // Legacy per-task breakdown (kRingWait maps to waitPred; both
+    // memory and generic latency stalls fold into waitIntra).
+    CycleBreakdown &cb = taskStats_.cycles;
+    switch (cat) {
+      case CycleCat::kBusy:
+        cb.busy += n;
+        break;
+      case CycleCat::kRingWait:
+        cb.waitPred += n;
+        break;
+      case CycleCat::kMemWait:
+      case CycleCat::kIntraWait:
+        cb.waitIntra += n;
+        break;
+      case CycleCat::kFetchStall:
+        cb.fetchStall += n;
+        break;
+      default:
+        cb.waitRetire += n;
+        break;
+    }
+}
+
+void
 ProcessingUnit::accountCycle(Cycle now, unsigned issued_count)
 {
     (void)now;
@@ -722,33 +762,91 @@ ProcessingUnit::accountCycle(Cycle now, unsigned issued_count)
     const CycleCat cat = classifyCycle(issued_count);
     if (acct_)
         acct_->recordPending(id_, cat);
+    addToBreakdown(cat, 1);
+}
 
-    // Legacy per-task breakdown (kRingWait maps to waitPred; both
-    // memory and generic latency stalls fold into waitIntra).
-    CycleBreakdown &cb = taskStats_.cycles;
-    switch (cat) {
-      case CycleCat::kBusy:
-        cb.busy += 1;
-        break;
-      case CycleCat::kRingWait:
-        cb.waitPred += 1;
-        break;
-      case CycleCat::kMemWait:
-      case CycleCat::kIntraWait:
-        cb.waitIntra += 1;
-        break;
-      case CycleCat::kFetchStall:
-        cb.fetchStall += 1;
-        break;
-      default:
-        cb.waitRetire += 1;
-        break;
+void
+ProcessingUnit::accountSkippedCycles(std::uint64_t n)
+{
+    if (status_ == Status::kFree) {
+        // Idle cycles belong to no task; they go straight to the
+        // accounting's final counts (the endCycle default).
+        if (acct_)
+            acct_->recordSkippedIdle(id_, n);
+        return;
     }
+    // During a skipped span the unit's state does not change (the
+    // run loop proved no completion, fetch, dispatch, issue or
+    // delivery can happen before the next event), so every skipped
+    // cycle classifies exactly as the current state with zero issues.
+    const CycleCat cat = classifyCycle(0);
+    if (acct_)
+        acct_->recordSkipped(id_, cat, n);
+    addToBreakdown(cat, n);
+}
+
+Cycle
+ProcessingUnit::nextEventCycle(Cycle now) const
+{
+    if (status_ == Status::kFree)
+        return kCycleNever;
+    const Cycle soon = now + 1;
+    Cycle next = kCycleNever;
+    // Walk the window exactly like issuePhase: only slots the issue
+    // logic can actually reach count as potential issue events. An
+    // unreachable ready slot (past an in-order stall or a barrier)
+    // cannot act before one of the in-flight completions below.
+    bool issue_blocked = false;
+    for (size_t i = 0; i < window_.size(); ++i) {
+        const Slot &slot = window_[i];
+        if (slot.done)
+            continue;
+        if (slot.issued) {
+            // In-flight work completes at a known cycle.
+            if (slot.doneAt < next)
+                next = slot.doneAt;
+            if (isBarrier(*slot.inst))
+                issue_blocked = true;  // no issue past it until done
+            continue;
+        }
+        if (!issue_blocked && slotReady(slot, i, now)) {
+            // Operand-ready and reachable (held back only by issue
+            // width, FU capacity, memory ordering retry, or a full
+            // ARB): it may issue next cycle. Conservative — never
+            // skip while anything could issue.
+            return soon;
+        }
+        // Non-ready: in-order issue looks no further; out-of-order
+        // continues, but never past a barrier.
+        if (!config_.outOfOrder || isBarrier(*slot.inst))
+            issue_blocked = true;
+    }
+    if (status_ == Status::kRunning) {
+        // Dispatch: decoded instructions move into a non-full window.
+        if (!fetchBuf_.empty() && window_.size() < config_.windowSize) {
+            const Cycle ready = fetchBuf_.front().readyAt;
+            next = std::min(next, ready > soon ? ready : soon);
+        }
+        // Fetch: either an icache miss resolves at a known cycle, or
+        // the icache would be accessed (a side effect) next cycle.
+        if (fetchEnabled_ && !awaitRedirect_ &&
+            fetchBuf_.size() + config_.issueWidth <=
+                config_.fetchBufferSize) {
+            if (pendingFetchReady_ != 0)
+                next = std::min(next, pendingFetchReady_ > soon
+                                          ? pendingFetchReady_
+                                          : soon);
+            else
+                return soon;
+        }
+    }
+    return next;
 }
 
 void
 ProcessingUnit::tick(Cycle now)
 {
+    activity_ = false;
     if (status_ == Status::kFree) {
         return;
     }
@@ -757,11 +855,15 @@ ProcessingUnit::tick(Cycle now)
     unsigned issued = 0;
     if (status_ == Status::kRunning || status_ == Status::kExited)
         issued = issuePhase(now);
+    if (issued > 0)
+        activity_ = true;
     dispatchPhase(now);
     fetchPhase(now);
     // Pop instructions completed by this cycle's issue+complete.
-    while (!window_.empty() && window_.front().done)
-        window_.erase(window_.begin());
+    while (!window_.empty() && window_.front().done) {
+        window_.pop_front();
+        activity_ = true;
+    }
     autoReleasePhase();
     maybeFinish();
     accountCycle(now, issued);

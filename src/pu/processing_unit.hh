@@ -35,9 +35,9 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "common/fifo.hh"
 #include "common/reg_mask.hh"
 #include "common/sat_counter.hh"
 #include "common/stats.hh"
@@ -132,6 +132,37 @@ class ProcessingUnit
     void tick(Cycle now);
 
     /**
+     * The earliest cycle after @p now at which this unit's tick
+     * could do anything beyond re-recording the same stall category
+     * — i.e. the unit's next event, assuming no external input (no
+     * ring delivery, no head change) arrives in between. Querying is
+     * side-effect free; call it after tick(now). Returns kCycleNever
+     * when only external input can wake the unit (or it is free).
+     *
+     * The run loop may skip straight to the minimum next event over
+     * all components; accountSkippedCycles() settles the books for
+     * the skipped span. See DESIGN.md "Quiescence & fast-forward".
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * @return true when the last tick changed no unit state (and no
+     * external call — delivery, assignment, squash — arrived since).
+     * Cheap pre-filter for nextEventCycle(): a unit with activity
+     * may act again next cycle, so a scan would be wasted.
+     */
+    bool quiescentLastTick() const { return !activity_; }
+
+    /**
+     * Account @p n fast-forwarded cycles: the run loop proved that
+     * each of them would have recorded exactly the stall category
+     * classifyCycle(0) yields on the current (unchanging) state, or
+     * idle when the unit is free. Updates the exact CycleAccounting
+     * and the legacy per-task breakdown identically to @p n ticks.
+     */
+    void accountSkippedCycles(std::uint64_t n);
+
+    /**
      * Squash: discard all task state.
      * @return the task's counters (squashed work).
      */
@@ -221,6 +252,7 @@ class ProcessingUnit
     void fetchPhase(Cycle now);
     void autoReleasePhase();
     void accountCycle(Cycle now, unsigned issued_count);
+    void addToBreakdown(CycleCat cat, std::uint64_t n);
 
     // --- helpers -----------------------------------------------------
     CycleCat classifyCycle(unsigned issued_count) const;
@@ -263,12 +295,21 @@ class ProcessingUnit
     std::array<isa::RegValue, kNumRegs> forwardedValues_{};
 
     // --- pipeline state ------------------------------------------------
-    std::deque<Fetched> fetchBuf_;
-    std::vector<Slot> window_;
+    /** Pre-sized ring buffers: no heap churn on the per-cycle path. */
+    RingFifo<Fetched> fetchBuf_;
+    RingFifo<Slot> window_;
     Addr fetchPc_ = 0;
     bool fetchEnabled_ = false;
     bool awaitRedirect_ = false;   //!< jr/jalr target pending
     Cycle pendingFetchReady_ = 0;  //!< icache miss outstanding
+    /**
+     * Did the last tick (or any external call since) change unit
+     * state? The run loop only evaluates nextEventCycle() once a
+     * tick passed with no activity, so busy cycles pay one flag
+     * check instead of a window scan. Purely a performance gate:
+     * skipping fewer cycles never changes observable timing.
+     */
+    bool activity_ = true;
     /** Per-cycle acceptance counters of the pipelined FUs. */
     std::array<unsigned, size_t(isa::FuKind::kNumFuKinds)> fuAccepts_{};
 

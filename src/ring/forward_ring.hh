@@ -16,9 +16,9 @@
 #ifndef MSIM_RING_FORWARD_RING_HH
 #define MSIM_RING_FORWARD_RING_HH
 
-#include <deque>
 #include <vector>
 
+#include "common/fifo.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -155,9 +155,9 @@ class ForwardRing
     unsigned hopLatency_;
     Tracer *tracer_ = nullptr;
     /** Messages waiting at each unit's outbound port. */
-    std::vector<std::deque<RingMessage>> outbound_;
+    std::vector<RingFifo<RingMessage>> outbound_;
     /** Messages traversing the link out of each unit. */
-    std::vector<std::deque<Hop>> inFlight_;
+    std::vector<RingFifo<Hop>> inFlight_;
 };
 
 } // namespace msim

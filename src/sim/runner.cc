@@ -54,8 +54,12 @@ runCompiled(const CompiledWorkload &compiled, const RunSpec &spec)
             ? runSession<MultiscalarProcessor>(compiled, spec.ms, spec)
             : runSession<ScalarProcessor>(compiled, spec.scalar, spec);
 
+    fatalIf(result.hitMaxCycles, "workload ", compiled.workload.name,
+            " exhausted its cycle budget (maxCycles=", spec.maxCycles,
+            ") without reaching the exit syscall");
     fatalIf(!result.exited, "workload ", compiled.workload.name,
-            " did not finish within ", spec.maxCycles, " cycles");
+            " stopped without exiting (and without hitting the cycle "
+            "budget — simulator bug?)");
     if (spec.checkOutput) {
         fatalIf(result.output != compiled.workload.expected,
                 "workload ", compiled.workload.name,

@@ -56,6 +56,25 @@ CycleAccounting::recordPending(unsigned unit, CycleCat cat)
 }
 
 void
+CycleAccounting::recordSkipped(unsigned unit, CycleCat cat,
+                               std::uint64_t n)
+{
+    panicIf(unit >= numUnits_, "cycle accounting: bad unit");
+    panicIf(inCycle_, "recordSkipped inside an open cycle");
+    panicIf(cat == CycleCat::kIdle,
+            "skipped idle cycles go through recordSkippedIdle");
+    pending_[unit][size_t(cat)] += n;
+}
+
+void
+CycleAccounting::recordSkippedIdle(unsigned unit, std::uint64_t n)
+{
+    panicIf(unit >= numUnits_, "cycle accounting: bad unit");
+    panicIf(inCycle_, "recordSkippedIdle inside an open cycle");
+    final_[unit][size_t(CycleCat::kIdle)] += n;
+}
+
+void
 CycleAccounting::endCycle()
 {
     panicIf(!inCycle_, "endCycle without beginCycle");

@@ -102,6 +102,24 @@ class CycleAccounting
     /** End the cycle: units that recorded nothing were idle. */
     void endCycle();
 
+    /**
+     * Bulk accounting for fast-forwarded (quiescent) cycles. The
+     * run loop proved that unit @p unit would have recorded @p cat
+     * on each of @p n consecutive cycles; record them all at once.
+     * Must be called between cycles (outside begin/endCycle). The
+     * cycles stay pending until the unit's task is resolved, exactly
+     * as if recordPending had run @p n times.
+     */
+    void recordSkipped(unsigned unit, CycleCat cat, std::uint64_t n);
+
+    /**
+     * Bulk idle accounting for fast-forwarded cycles: unit @p unit
+     * had no task for @p n consecutive skipped cycles. Idle cycles
+     * belong to no task, so they go straight to the final counts
+     * (the endCycle default path does the same one cycle at a time).
+     */
+    void recordSkippedIdle(unsigned unit, std::uint64_t n);
+
     /** Unit @p unit's task retired: pending counts were useful. */
     void commitTask(unsigned unit);
 

@@ -32,7 +32,8 @@ const char *const kSource = R"(
 # ---- eqntott: cmppt loop, one task per term comparison ----
         .data
 NPAIRS: .word 0
-TERMS:  .space 108608             # (pairs+1) * 16 words, host-poked
+TERMS:  .space 204864             # (pairs+1) * 16 words, host-poked
+                                  # (sized for scale 2: 3201 terms)
         .text
 
 main:
@@ -99,7 +100,9 @@ CMPDONE:
 Workload
 makeEqntott(unsigned scale)
 {
-    fatalIf(scale > 1, "eqntott workload supports scale 1");
+    fatalIf(scale > 2, "eqntott workload supports scale <= 2");
+    fatalIf((kPairsPerScale * scale + 1) * kTermWords * 4 > 204864,
+            "eqntott TERMS pool overflow");
     Workload w;
     w.name = "eqntott";
     w.description = "cmppt-style term comparisons, one task per pair";
@@ -128,7 +131,10 @@ makeEqntott(unsigned scale)
     };
 
     // Golden model.
-    std::int32_t stat = 0;
+    // Unsigned accumulator: the guest computes this with wrapping
+    // `mul`, and int32 overflow is UB on the host (at -O2 the
+    // optimizer really does miscompile it).
+    std::uint32_t stat = 0;
     for (unsigned p = 0; p < npairs; ++p) {
         const std::uint32_t *a = &terms[size_t(p) * kTermWords];
         const std::uint32_t *b = a + kTermWords;
@@ -139,9 +145,9 @@ makeEqntott(unsigned scale)
                 break;
             }
         }
-        stat = stat * 3 + res + 1;
+        stat = stat * 3 + std::uint32_t(res + 1);
     }
-    w.expected = std::to_string(stat) + "\n";
+    w.expected = std::to_string(std::int32_t(stat)) + "\n";
     return w;
 }
 

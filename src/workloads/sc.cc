@@ -40,7 +40,8 @@ NWL:    .word 0                   # work list length
 NCELLS: .word 0                   # grid size (SCGRID variant)
 WLIST:  .space 2048               # host-poked root pointers
 GRID:   .space 12800              # host-poked roots or 0 (empty)
-NODES:  .space 65536              # host-poked expression trees
+NODES:  .space 196608             # host-poked expression trees
+                                  # (sized for scale 2)
         .text
 
 main:
@@ -205,7 +206,7 @@ makeSc(unsigned scale)
             wlist.push_back(grid[c]);
         }
     }
-    fatalIf(trees.nodes.size() * 4 > 65536,
+    fatalIf(trees.nodes.size() * 4 > 196608,
             "sc expression pool overflow");
     fatalIf(wlist.size() * 4 > 2048, "sc work list overflow");
 
@@ -238,10 +239,12 @@ makeSc(unsigned scale)
     };
 
     // Golden model: evaluate in work-list order (same as grid order).
-    std::int32_t acc = 0;
+    // Unsigned accumulator — the guest wraps with `mul`, and signed
+    // overflow would be UB here.
+    std::uint32_t acc = 0;
     for (Addr root : wlist)
-        acc = acc * 13 + trees.eval(root - 4);
-    w.expected = std::to_string(acc) + "\n";
+        acc = acc * 13 + std::uint32_t(trees.eval(root - 4));
+    w.expected = std::to_string(std::int32_t(acc)) + "\n";
     return w;
 }
 

@@ -155,14 +155,17 @@ solve(std::uint32_t cols, std::uint32_t ld, std::uint32_t rd,
 Workload
 makeXlisp(unsigned scale)
 {
-    fatalIf(scale > 1, "xlisp workload supports scale 1");
+    // Board size grows with scale; the allocation-count guard below
+    // keeps the simulated heap inside the static HEAP pool (n = 10
+    // would need ~280 KB).
+    fatalIf(scale > 3, "xlisp workload supports scale <= 3");
     Workload w;
     w.name = "xlisp";
     w.description =
         "recursive n-queens with serializing cons allocation";
     w.source = kSource;
 
-    const unsigned n = kQueens;
+    const unsigned n = kQueens + (scale - 1);
     w.init = [n](MainMemory &mem, const Program &prog) {
         mem.write(*prog.symbol("NQ"), n, 4);
     };

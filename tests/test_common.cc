@@ -1,11 +1,15 @@
 /**
  * @file
  * Unit tests for the common utilities: RegMask, SatCounter, the
- * statistics registry, and the deterministic RNG.
+ * statistics registry, the deterministic RNG, and the RingFifo
+ * circular buffer used on the simulation hot path.
  */
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
+#include "common/fifo.hh"
 #include "common/logging.hh"
 #include "common/reg_mask.hh"
 #include "common/rng.hh"
@@ -173,6 +177,124 @@ TEST(Logging, FatalAndPanicCarryMessages)
     EXPECT_THROW(panicIf(true, "boom"), PanicError);
     EXPECT_NO_THROW(panicIf(false, "boom"));
     EXPECT_NO_THROW(fatalIf(false, "boom"));
+}
+
+TEST(RingFifo, FifoOrderAcrossWraparound)
+{
+    RingFifo<int> f(4);
+    // Interleave pushes and pops so head_ wraps the backing buffer
+    // several times without ever growing it.
+    int next_in = 0, next_out = 0;
+    for (int round = 0; round < 10; ++round) {
+        f.push_back(next_in++);
+        f.push_back(next_in++);
+        f.push_back(next_in++);
+        EXPECT_EQ(f.front(), next_out);
+        f.pop_front();
+        ++next_out;
+        f.pop_front();
+        ++next_out;
+        f.pop_front();
+        ++next_out;
+    }
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.capacity(), 4u);
+}
+
+TEST(RingFifo, GrowthPreservesOrderFromAWrappedState)
+{
+    RingFifo<int> f(4);
+    // Rotate so head_ is mid-buffer, then force growth.
+    f.push_back(-1);
+    f.push_back(-2);
+    f.pop_front();
+    f.pop_front();
+    for (int i = 0; i < 20; ++i)
+        f.push_back(i);
+    ASSERT_EQ(f.size(), 20u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(f[size_t(i)], i);
+    EXPECT_EQ(f.front(), 0);
+    EXPECT_EQ(f.back(), 19);
+}
+
+TEST(RingFifo, TruncateDropsTheTail)
+{
+    RingFifo<int> f;
+    for (int i = 0; i < 6; ++i)
+        f.push_back(i);
+    f.truncate(2);
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_EQ(f[0], 0);
+    EXPECT_EQ(f[1], 1);
+    // Elements pushed after a truncate land where the tail was.
+    f.push_back(100);
+    EXPECT_EQ(f.back(), 100);
+    f.truncate(0);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(RingFifo, ClearKeepsCapacity)
+{
+    RingFifo<int> f(16);
+    for (int i = 0; i < 10; ++i)
+        f.push_back(i);
+    const size_t cap = f.capacity();
+    f.clear();
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.capacity(), cap);
+    f.push_back(7);
+    EXPECT_EQ(f.front(), 7);
+}
+
+TEST(RingFifo, ReserveRoundsUpToPowerOfTwo)
+{
+    RingFifo<int> f;
+    f.reserve(5);
+    EXPECT_EQ(f.capacity(), 8u);
+    f.reserve(3);  // never shrinks
+    EXPECT_EQ(f.capacity(), 8u);
+    RingFifo<int> g(16);
+    EXPECT_EQ(g.capacity(), 16u);
+}
+
+TEST(RingFifo, MisusePanics)
+{
+    RingFifo<int> f(2);
+    EXPECT_THROW(f.pop_front(), PanicError);
+    f.push_back(1);
+    EXPECT_THROW(f[1], PanicError);
+    EXPECT_THROW(f.truncate(2), PanicError);
+}
+
+TEST(RingFifo, MatchesDequeUnderRandomOperations)
+{
+    RingFifo<int> f;
+    std::deque<int> ref;
+    Rng rng(1234);
+    int counter = 0;
+    for (int step = 0; step < 5000; ++step) {
+        const unsigned op = unsigned(rng.below(10));
+        if (op < 5) {
+            f.push_back(counter);
+            ref.push_back(counter);
+            ++counter;
+        } else if (op < 8) {
+            if (!ref.empty()) {
+                EXPECT_EQ(f.front(), ref.front());
+                f.pop_front();
+                ref.pop_front();
+            }
+        } else if (op == 8) {
+            const size_t n = size_t(rng.below(ref.size() + 1));
+            f.truncate(n);
+            ref.resize(n);
+        } else if (!ref.empty()) {
+            const size_t i = size_t(rng.below(ref.size()));
+            EXPECT_EQ(f[i], ref[i]);
+        }
+        ASSERT_EQ(f.size(), ref.size());
+    }
 }
 
 } // namespace

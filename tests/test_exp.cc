@@ -124,7 +124,10 @@ TEST(SweepScheduler, CapturesCellFailuresAndKeepsReportRows)
     EXPECT_TRUE(r.cell("good2").ok);
     const exp::CellResult &bad = r.cell("bad");
     EXPECT_FALSE(bad.ok);
-    EXPECT_NE(bad.error.find("did not finish"), std::string::npos)
+    EXPECT_NE(bad.error.find("exhausted its cycle budget"),
+              std::string::npos)
+        << bad.error;
+    EXPECT_NE(bad.error.find("maxCycles=10"), std::string::npos)
         << bad.error;
     EXPECT_GE(bad.wallSeconds, 0.0);
     // result() refuses failed cells; cell() serves the row.
@@ -139,7 +142,8 @@ TEST(SweepScheduler, CapturesCellFailuresAndKeepsReportRows)
               std::string::npos);
     EXPECT_NE(json.find("\"name\": \"bad\""), std::string::npos);
     EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
-    EXPECT_NE(json.find("did not finish"), std::string::npos);
+    EXPECT_NE(json.find("exhausted its cycle budget"),
+              std::string::npos);
     EXPECT_NE(json.find("\"cells_failed\": 1"), std::string::npos);
     // No raw control characters may survive escaping.
     for (char c : json)

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Golden cycle-count snapshot tests.
+ *
+ * Every workload is run on the scalar baseline and on the default
+ * 4-unit multiscalar machine under a pinned (default) configuration,
+ * twice: once with the quiescence fast-forward enabled and once with
+ * it disabled (ScalarConfig/MsConfig::fastForward = false). The two
+ * runs must agree on every observable — total cycles, instruction
+ * count, task counts, program output, and the full per-category cycle
+ * accounting — and the fast-forward numbers must match the checked-in
+ * snapshot in tests/golden/cycles.json exactly. Any timing drift,
+ * intended or not, fails here first.
+ *
+ * Regenerating the snapshot after an *intended* timing change:
+ *
+ *     cd build && MSIM_REGEN_GOLDEN=1 ./tests/test_golden_cycles
+ *
+ * rewrites tests/golden/cycles.json in the source tree (the path is
+ * baked in via the MSIM_GOLDEN_DIR compile definition). Commit the
+ * regenerated file together with the change that moved the numbers,
+ * and explain the movement in the commit message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "workloads/workload.hh"
+
+namespace msim {
+namespace {
+
+/** One snapshot row. */
+struct GoldenEntry
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t tasksRetired = 0;
+    std::uint64_t tasksSquashed = 0;
+
+    bool
+    operator==(const GoldenEntry &o) const
+    {
+        return cycles == o.cycles && instructions == o.instructions &&
+               tasksRetired == o.tasksRetired &&
+               tasksSquashed == o.tasksSquashed;
+    }
+};
+
+std::string
+goldenPath()
+{
+    return std::string(MSIM_GOLDEN_DIR) + "/cycles.json";
+}
+
+bool
+regenMode()
+{
+    const char *env = std::getenv("MSIM_REGEN_GOLDEN");
+    return env && *env && std::string(env) != "0";
+}
+
+/** Pull the number following "<field>": at/after @p pos. */
+std::uint64_t
+parseField(const std::string &text, size_t pos, const std::string &field)
+{
+    const std::string needle = "\"" + field + "\":";
+    const size_t at = text.find(needle, pos);
+    EXPECT_NE(at, std::string::npos)
+        << "golden file is missing field '" << field << "'";
+    if (at == std::string::npos)
+        return 0;
+    return std::strtoull(text.c_str() + at + needle.size(), nullptr, 10);
+}
+
+/** Load the whole snapshot file, keyed by "workload/mode". */
+const std::map<std::string, GoldenEntry> &
+loadGolden()
+{
+    static const std::map<std::string, GoldenEntry> golden = [] {
+        std::map<std::string, GoldenEntry> entries;
+        std::ifstream in(goldenPath());
+        if (!in)
+            return entries;  // missing file reported per test
+        std::stringstream ss;
+        ss << in.rdbuf();
+        const std::string text = ss.str();
+        size_t pos = 0;
+        while ((pos = text.find("\"key\":", pos)) != std::string::npos) {
+            const size_t q0 = text.find('"', pos + 6);
+            const size_t q1 = text.find('"', q0 + 1);
+            if (q0 == std::string::npos || q1 == std::string::npos)
+                break;
+            const std::string key = text.substr(q0 + 1, q1 - q0 - 1);
+            GoldenEntry e;
+            e.cycles = parseField(text, q1, "cycles");
+            e.instructions = parseField(text, q1, "instructions");
+            e.tasksRetired = parseField(text, q1, "tasksRetired");
+            e.tasksSquashed = parseField(text, q1, "tasksSquashed");
+            entries[key] = e;
+            pos = q1;
+        }
+        return entries;
+    }();
+    return golden;
+}
+
+/** Measured entries collected for MSIM_REGEN_GOLDEN=1 mode. */
+std::map<std::string, GoldenEntry> &
+regenEntries()
+{
+    static std::map<std::string, GoldenEntry> entries;
+    return entries;
+}
+
+/** Writes the regenerated snapshot after all tests ran. */
+class RegenWriter : public ::testing::Environment
+{
+  public:
+    void
+    TearDown() override
+    {
+        if (!regenMode() || regenEntries().empty())
+            return;
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out.good())
+            << "cannot write golden file " << goldenPath();
+        out << "{\n  \"schema\": \"msim-golden-cycles-v1\",\n"
+            << "  \"entries\": [\n";
+        size_t i = 0;
+        for (const auto &[key, e] : regenEntries()) {
+            out << "    { \"key\": \"" << key << "\", \"cycles\": "
+                << e.cycles << ", \"instructions\": " << e.instructions
+                << ", \"tasksRetired\": " << e.tasksRetired
+                << ", \"tasksSquashed\": " << e.tasksSquashed << " }"
+                << (++i < regenEntries().size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+        std::printf("regenerated %s (%zu entries)\n",
+                    goldenPath().c_str(), regenEntries().size());
+    }
+};
+
+const ::testing::Environment *const kRegenWriter =
+    ::testing::AddGlobalTestEnvironment(new RegenWriter);
+
+struct Case
+{
+    std::string workload;
+    bool multiscalar;
+};
+
+class GoldenCycles : public ::testing::TestWithParam<Case>
+{
+};
+
+/** The pinned configuration: library defaults for either machine. */
+RunSpec
+pinnedSpec(bool multiscalar, bool fast_forward)
+{
+    RunSpec spec;
+    spec.multiscalar = multiscalar;
+    spec.ms.fastForward = fast_forward;
+    spec.scalar.fastForward = fast_forward;
+    return spec;
+}
+
+TEST_P(GoldenCycles, FastForwardIsCycleExactAndMatchesSnapshot)
+{
+    const Case &c = GetParam();
+    const workloads::Workload w = workloads::get(c.workload);
+
+    const RunResult on = runWorkload(w, pinnedSpec(c.multiscalar, true));
+    const RunResult off =
+        runWorkload(w, pinnedSpec(c.multiscalar, false));
+
+    // The fast-forward must be invisible in every observable.
+    EXPECT_EQ(on.cycles, off.cycles);
+    EXPECT_EQ(on.instructions, off.instructions);
+    EXPECT_EQ(on.squashedInstructions, off.squashedInstructions);
+    EXPECT_EQ(on.tasksRetired, off.tasksRetired);
+    EXPECT_EQ(on.tasksSquashed, off.tasksSquashed);
+    EXPECT_EQ(on.controlSquashes, off.controlSquashes);
+    EXPECT_EQ(on.memorySquashes, off.memorySquashes);
+    EXPECT_EQ(on.idleCycles, off.idleCycles);
+    EXPECT_EQ(on.output, off.output);
+    EXPECT_EQ(off.fastForwardedCycles, 0u);
+
+    // Full per-category accounting must match, not just the totals.
+    ASSERT_EQ(on.accounting.numUnits, off.accounting.numUnits);
+    for (size_t cat = 0; cat < kNumCycleCats; ++cat) {
+        EXPECT_EQ(on.accounting.total[cat], off.accounting.total[cat])
+            << "category " << cycleCatName(CycleCat(cat));
+        for (unsigned u = 0; u < on.accounting.numUnits; ++u) {
+            EXPECT_EQ(on.accounting.perUnit[u][cat],
+                      off.accounting.perUnit[u][cat])
+                << "unit " << u << " category "
+                << cycleCatName(CycleCat(cat));
+        }
+    }
+
+    // The exactness invariant holds for both runs.
+    EXPECT_EQ(on.accounting.sum(),
+              on.cycles * on.accounting.numUnits);
+    EXPECT_EQ(off.accounting.sum(),
+              off.cycles * off.accounting.numUnits);
+
+    const std::string key =
+        c.workload + (c.multiscalar ? "/ms4" : "/scalar");
+    GoldenEntry measured;
+    measured.cycles = on.cycles;
+    measured.instructions = on.instructions;
+    measured.tasksRetired = on.tasksRetired;
+    measured.tasksSquashed = on.tasksSquashed;
+
+    if (regenMode()) {
+        regenEntries()[key] = measured;
+        return;
+    }
+
+    const auto &golden = loadGolden();
+    auto it = golden.find(key);
+    ASSERT_NE(it, golden.end())
+        << "no golden entry for " << key << " in " << goldenPath()
+        << " — regenerate with MSIM_REGEN_GOLDEN=1 (see file header)";
+    EXPECT_EQ(measured.cycles, it->second.cycles) << key;
+    EXPECT_EQ(measured.instructions, it->second.instructions) << key;
+    EXPECT_EQ(measured.tasksRetired, it->second.tasksRetired) << key;
+    EXPECT_EQ(measured.tasksSquashed, it->second.tasksSquashed) << key;
+}
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const auto &[name, factory] : workloads::registry()) {
+        (void)factory;
+        cases.push_back({name, false});
+        cases.push_back({name, true});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, GoldenCycles, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<Case> &info) {
+        return info.param.workload +
+               (info.param.multiscalar ? "_ms4" : "_scalar");
+    });
+
+} // namespace
+} // namespace msim

@@ -2,12 +2,19 @@
  * @file
  * Property-based differential testing: randomly generated multiscalar
  * programs (random ALU bodies, random shared-memory loads and stores,
- * random cross-task register traffic) must produce exactly the output
- * of the sequential reference interpreter on every machine shape —
- * scalar, and multiscalar with varying unit counts, issue disciplines,
- * ring latencies and ARB capacities. The shared-memory traffic makes
- * dependence violations (and thus squash/recovery) common, so this
- * sweeps the hardest paths of the whole machine.
+ * random cross-task register traffic, floating-point dataflow,
+ * explicit and implicit register releases, and data-dependent
+ * early-exit control flow) must produce exactly the output of the
+ * sequential reference interpreter on every machine shape — scalar,
+ * and multiscalar with varying unit counts, issue disciplines, ring
+ * latencies and ARB capacities. The shared-memory traffic (4-byte
+ * integer and 8-byte FP accesses over the same array) makes
+ * dependence violations — and thus squash/recovery — common, and the
+ * early-exit branches make task-successor mispredictions common, so
+ * this sweeps the hardest paths of the whole machine. Every run also
+ * asserts the exact cycle-accounting invariant and the multiscalar
+ * default shape is additionally run with the quiescence fast-forward
+ * disabled: the cycle counts must be bit-identical either way.
  */
 
 #include <gtest/gtest.h>
@@ -32,6 +39,8 @@ generateProgram(std::uint64_t seed)
 
     const unsigned iters = 16 + unsigned(rng.below(48));
     const unsigned body_ops = 4 + unsigned(rng.below(10));
+    const bool use_fp = rng.below(2) == 0;
+    const bool early_exit = rng.below(5) < 2;
 
     os << "        .data\n";
     os << "DATA:   .space 256\n";
@@ -43,10 +52,18 @@ generateProgram(std::uint64_t seed)
     os << "        li   $20, 0\n";
     os << "        li   $21, " << iters << "\n";
     os << "        la   $22, DATA\n";
+    if (use_fp) {
+        // FP cross registers start as exact small integers.
+        os << "        cvt.d.w $f20, $16\n";
+        os << "        cvt.d.w $f21, $17\n";
+    }
     os << "@ms     b    LOOP !s\n";
     os << "@ms .task main\n";
     os << "@ms .targets LOOP\n";
-    os << "@ms .create $16, $17, $18, $19, $20, $21, $22\n";
+    os << "@ms .create $16, $17, $18, $19, $20, $21, $22";
+    if (use_fp)
+        os << ", $f20, $f21";
+    os << "\n";
     os << "@ms .endtask\n";
 
     // Generate the loop body, tracking which temporaries are defined
@@ -55,11 +72,14 @@ generateProgram(std::uint64_t seed)
     struct Op
     {
         std::string text;
-        int crossDest = -1;  // 16..19 when writing a cross register
+        int crossDest = -1;    // 16..19 when writing a cross register
+        int fpCrossDest = -1;  // 20..21 when writing $f20/$f21
     };
     std::vector<Op> body;
-    bool temp_defined[16] = {};  // $8..$15 -> [8..15]
+    bool temp_defined[16] = {};     // $8..$15 -> [8..15]
     bool cross_written[20] = {};
+    bool fp_temp_defined[12] = {};  // $f8..$f11 -> [8..11]
+    bool fp_cross_written[22] = {}; // $f20/$f21 -> [20..21]
 
     auto src_reg = [&]() -> std::string {
         for (int tries = 0; tries < 8; ++tries) {
@@ -78,14 +98,86 @@ generateProgram(std::uint64_t seed)
         return "$20";
     };
 
+    // An FP source: a defined FP temporary or an FP cross register.
+    auto fp_src = [&]() -> std::string {
+        for (int tries = 0; tries < 8; ++tries) {
+            const unsigned pick = unsigned(rng.below(6));
+            if (pick < 4) {
+                if (fp_temp_defined[8 + pick])
+                    return "$f" + std::to_string(8 + pick);
+            } else {
+                return "$f" + std::to_string(20 + (pick - 4));
+            }
+        }
+        return "$f20";
+    };
+
     for (unsigned i = 0; i < body_ops; ++i) {
-        const unsigned kind = unsigned(rng.below(10));
+        const unsigned kind = unsigned(rng.below(use_fp ? 14 : 10));
         Op op;
+        if (kind >= 10) {
+            if (kind == 10) {
+                // FP ALU: dest is an FP temp (60%) or FP cross (40%).
+                // Sources are drawn before the destination is marked
+                // defined: a temp read before its first in-task write
+                // would be stale across task boundaries.
+                static const char *fops[] = {"add.d", "sub.d", "mul.d"};
+                const char *mn = fops[rng.below(3)];
+                const std::string s1 = fp_src();
+                const std::string s2 = fp_src();
+                std::string dest;
+                if (rng.below(10) < 6) {
+                    const int t = 8 + int(rng.below(4));
+                    dest = "$f" + std::to_string(t);
+                    fp_temp_defined[t] = true;
+                } else {
+                    const int c = 20 + int(rng.below(2));
+                    dest = "$f" + std::to_string(c);
+                    op.fpCrossDest = c;
+                    fp_cross_written[c] = true;
+                }
+                op.text = "        " + std::string(mn) + " " + dest +
+                          ", " + s1 + ", " + s2;
+            } else if (kind == 11) {
+                // Conversion round trip: an int32 survives the double
+                // format exactly, so cvt.w.d stays in range (the raw
+                // int cast in the executor is UB on overflow).
+                const int ft = 8 + int(rng.below(4));
+                const int t = 8 + int(rng.below(8));
+                const std::string s = src_reg();
+                fp_temp_defined[ft] = true;
+                temp_defined[t] = true;
+                op.text = "        cvt.d.w $f" + std::to_string(ft) +
+                          ", " + s + "\n        cvt.w.d $" +
+                          std::to_string(t) + ", $f" +
+                          std::to_string(ft);
+            } else if (kind == 12) {
+                // 8-byte FP store over the shared (integer) array.
+                const unsigned off = unsigned(rng.below(31)) * 8;
+                op.text = "        sdc1 " + fp_src() + ", " +
+                          std::to_string(off) + "($22)";
+            } else {
+                // 8-byte FP load (arbitrary bit patterns are fine:
+                // both machines and the reference use host doubles).
+                const int ft = 8 + int(rng.below(4));
+                fp_temp_defined[ft] = true;
+                const unsigned off = unsigned(rng.below(31)) * 8;
+                op.text = "        ldc1 $f" + std::to_string(ft) +
+                          ", " + std::to_string(off) + "($22)";
+            }
+            body.push_back(op);
+            continue;
+        }
         if (kind < 5) {
             // ALU: dest is a temp (60%) or a cross register (40%).
             static const char *ops[] = {"addu", "subu", "xor", "and",
                                         "or", "slt", "mul"};
             const char *mn = ops[rng.below(7)];
+            // Draw sources before marking the destination defined: an
+            // op must not read its own dest as a not-yet-written temp
+            // (undeclared temps do not travel across task boundaries).
+            const std::string s1 = src_reg();
+            const std::string s2 = src_reg();
             std::string dest;
             if (rng.below(10) < 6) {
                 const int t = 8 + int(rng.below(8));
@@ -98,13 +190,15 @@ generateProgram(std::uint64_t seed)
                 cross_written[c] = true;
             }
             op.text = "        " + std::string(mn) + " " + dest +
-                      ", " + src_reg() + ", " + src_reg();
+                      ", " + s1 + ", " + s2;
         } else if (kind < 7) {
-            // ALU immediate.
+            // ALU immediate (source drawn before the dest is marked
+            // defined, as above).
             const int t = 8 + int(rng.below(8));
+            const std::string s = src_reg();
             temp_defined[t] = true;
             op.text = "        addiu $" + std::to_string(t) + ", " +
-                      src_reg() + ", " +
+                      s + ", " +
                       std::to_string(rng.range(-100, 100));
         } else if (kind < 9) {
             // Store to the shared array.
@@ -131,13 +225,63 @@ generateProgram(std::uint64_t seed)
             }
         }
     }
+    for (int c = 20; c <= 21; ++c) {
+        for (auto it = body.rbegin(); it != body.rend(); ++it) {
+            if (it->fpCrossDest == c) {
+                it->text += " !f";
+                break;
+            }
+        }
+    }
+
+    // A data-dependent early exit: when a random value collides with
+    // the iteration counter the task chain ends at DONE instead of
+    // looping — the task predictor mispredicts, so squash-and-restart
+    // of the in-flight successors becomes a common event.
+    if (early_exit) {
+        // The branch source must be a cross register: it can land at
+        // any body position, and only create-mask registers have a
+        // defined value at every point of a task. ($21 is the loop
+        // bound, so $21==$20 fires exactly at the final iteration.)
+        const int c = 16 + int(rng.below(6));
+        Op op;
+        op.text = "        beq  $" + std::to_string(c) +
+                  ", $20, DONE !st";
+        const size_t at = rng.below(body.size() + 1);
+        body.insert(body.begin() + std::ptrdiff_t(at), op);
+    }
+
+    // Unwritten cross registers: some are released explicitly at a
+    // random point (the inherited value travels on early), some stay
+    // in the create mask with no writer and no release, exercising
+    // the implicit release of inherited values at task exit.
+    bool cross_released[20] = {};
+    bool cross_inherit[20] = {};
+    for (int c = 16; c <= 19; ++c) {
+        if (cross_written[c])
+            continue;
+        const unsigned roll = unsigned(rng.below(4));
+        if (roll == 0) {
+            Op op;
+            op.text = "@ms     release $" + std::to_string(c);
+            const size_t at = rng.below(body.size() + 1);
+            body.insert(body.begin() + std::ptrdiff_t(at), op);
+            cross_released[c] = true;
+        } else if (roll == 1) {
+            cross_inherit[c] = true;
+        }
+    }
 
     os << "@ms .task LOOP\n";
     os << "@ms .targets LOOP:loop, DONE\n";
     os << "@ms .create $20";
     for (int c = 16; c <= 19; ++c) {
-        if (cross_written[c])
+        if (cross_written[c] || cross_released[c] || cross_inherit[c])
             os << ", $" << c;
+    }
+    for (int c = 20; c <= 21; ++c) {
+        if (fp_cross_written[c])
+            os << ", $f" << c;
     }
     os << "\n@ms .endtask\n";
     os << "LOOP:\n";
@@ -149,6 +293,13 @@ generateProgram(std::uint64_t seed)
     os << "@ms .task DONE\n";
     os << "@ms .endtask\n";
     os << "DONE:\n";
+    if (use_fp) {
+        // Fold the (possibly forwarded) FP cross registers into the
+        // checksummed array as raw bit patterns — no conversion, so
+        // unbounded FP values stay UB-free.
+        os << "        sdc1 $f20, 0($22)\n";
+        os << "        sdc1 $f21, 8($22)\n";
+    }
     // Checksum: fold the cross registers and the shared array.
     os << "        li   $2, 0\n";
     for (int c = 16; c <= 19; ++c) {
@@ -196,6 +347,9 @@ TEST_P(RandomProgram, AllMachinesMatchTheReference)
         ASSERT_TRUE(r.exited);
         EXPECT_EQ(r.output, ref.output) << "scalar\n" << src;
         EXPECT_EQ(r.instructions, ref.instructions);
+        EXPECT_EQ(r.accounting.sum(),
+                  r.cycles * r.accounting.numUnits)
+            << "scalar accounting invariant\n" << src;
     }
 
     struct Shape
@@ -253,11 +407,43 @@ TEST_P(RandomProgram, AllMachinesMatchTheReference)
         RunResult r = proc.run(5'000'000);
         ASSERT_TRUE(r.exited) << shape.name << "\n" << src;
         EXPECT_EQ(r.output, ref.output) << shape.name << "\n" << src;
+        // The exact accounting invariant: every unit-cycle lands in
+        // exactly one category, even across squashes and skips.
+        EXPECT_EQ(r.accounting.sum(),
+                  r.cycles * r.accounting.numUnits)
+            << shape.name << " accounting invariant\n" << src;
+    }
+
+    // The quiescence fast-forward must be cycle-exact on arbitrary
+    // squash-heavy programs, not just the curated workloads: the
+    // default shape re-run with fast-forward disabled must agree on
+    // every timing observable.
+    {
+        MsConfig on_cfg;
+        MsConfig off_cfg;
+        off_cfg.fastForward = false;
+        MultiscalarProcessor on_proc(ms_prog, on_cfg);
+        MultiscalarProcessor off_proc(ms_prog, off_cfg);
+        RunResult on = on_proc.run(5'000'000);
+        RunResult off = off_proc.run(5'000'000);
+        ASSERT_TRUE(on.exited && off.exited) << src;
+        EXPECT_EQ(on.cycles, off.cycles) << "fast-forward drift\n"
+                                         << src;
+        EXPECT_EQ(on.output, off.output) << src;
+        EXPECT_EQ(on.instructions, off.instructions) << src;
+        EXPECT_EQ(on.tasksSquashed, off.tasksSquashed) << src;
+        EXPECT_EQ(on.idleCycles, off.idleCycles) << src;
+        EXPECT_EQ(off.fastForwardedCycles, 0u) << src;
+        for (size_t cat = 0; cat < kNumCycleCats; ++cat) {
+            EXPECT_EQ(on.accounting.total[cat],
+                      off.accounting.total[cat])
+                << cycleCatName(CycleCat(cat)) << "\n" << src;
+        }
     }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram,
-                         ::testing::Range(0, 24));
+                         ::testing::Range(0, 200));
 
 } // namespace
 } // namespace msim

@@ -9,6 +9,7 @@
 
 #include "asm/assembler.hh"
 #include "common/logging.hh"
+#include "core/multiscalar_processor.hh"
 #include "mem/main_memory.hh"
 #include "sim/reference.hh"
 #include "sim/runner.hh"
@@ -170,6 +171,79 @@ TEST(Runner, CycleLimitIsFatal)
     spec.multiscalar = false;
     spec.maxCycles = 100;
     EXPECT_THROW(runWorkload(w, spec), FatalError);
+}
+
+TEST(Runner, CycleLimitErrorIsDistinctFromOtherFailures)
+{
+    // Budget exhaustion must name the budget, not look like a hang
+    // or a wrong-output failure.
+    workloads::Workload w = workloads::get("wc");
+    RunSpec spec;
+    spec.multiscalar = false;
+    spec.maxCycles = 100;
+    try {
+        runWorkload(w, spec);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("exhausted its cycle budget"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("maxCycles=100"), std::string::npos) << msg;
+    }
+}
+
+TEST(Runner, HitMaxCyclesIsReportedByBothMachines)
+{
+    // An endless program: the run must stop exactly at the budget and
+    // flag the truncation, distinct from a normal exit.
+    {
+        Program prog = assembler::assemble(
+            ".text\nmain:   b    main\n", {});
+        ScalarProcessor proc(prog, ScalarConfig{});
+        RunResult r = proc.run(500);
+        EXPECT_FALSE(r.exited);
+        EXPECT_TRUE(r.hitMaxCycles);
+        EXPECT_EQ(r.cycles, 500u);
+        // The exact-accounting invariant holds on truncated runs too.
+        EXPECT_EQ(r.accounting.sum(), r.cycles * r.accounting.numUnits);
+    }
+    {
+        assembler::AsmOptions opts;
+        opts.multiscalar = true;
+        Program prog = assembler::assemble(R"(
+        .text
+main:   li   $20, 0
+        b    SPIN !s
+.task main
+.targets SPIN
+.create $20
+.endtask
+.task SPIN
+.targets SPIN:loop
+.create $20
+.endtask
+SPIN:
+        addu $20, $20, 1 !f
+        b    SPIN !s
+)",
+                                           opts);
+        MultiscalarProcessor proc(prog, MsConfig{});
+        RunResult r = proc.run(2000);
+        EXPECT_FALSE(r.exited);
+        EXPECT_TRUE(r.hitMaxCycles);
+        EXPECT_EQ(r.cycles, 2000u);
+        EXPECT_EQ(r.accounting.sum(), r.cycles * r.accounting.numUnits);
+    }
+    {
+        // A normal exit must not be flagged.
+        workloads::Workload w2 = workloads::get("example");
+        RunSpec spec;
+        spec.multiscalar = true;
+        RunResult ok = runWorkload(w2, spec);
+        EXPECT_TRUE(ok.exited);
+        EXPECT_FALSE(ok.hitMaxCycles);
+    }
 }
 
 TEST(Workloads, RegistryIsComplete)

@@ -1,0 +1,138 @@
+#include "analysis/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace msim::analysis {
+
+const char *
+passName(PassId pass)
+{
+    switch (pass) {
+      case PassId::kMaskSoundness:
+        return "mask-soundness";
+      case PassId::kMaskPrecision:
+        return "mask-precision";
+      case PassId::kPrematureForward:
+        return "premature-forward";
+      case PassId::kMissingLastUpdate:
+        return "missing-last-update";
+      case PassId::kUseBeforeDef:
+        return "use-before-def";
+    }
+    return "unknown";
+}
+
+unsigned
+AnalysisReport::errorCount() const
+{
+    return unsigned(std::count_if(
+        diagnostics.begin(), diagnostics.end(),
+        [](const Diagnostic &d) { return d.severity == Severity::kError; }));
+}
+
+unsigned
+AnalysisReport::warningCount() const
+{
+    return unsigned(diagnostics.size()) - errorCount();
+}
+
+namespace {
+
+void
+renderLine(std::ostringstream &os, const Diagnostic &d)
+{
+    if (!d.file.empty())
+        os << d.file << ":";
+    if (d.line > 0)
+        os << d.line << ":";
+    if (!d.file.empty() || d.line > 0)
+        os << " ";
+    os << (d.severity == Severity::kError ? "error: " : "warning: ")
+       << d.message << " [" << passName(d.pass) << "]\n";
+}
+
+/** Escape a string for a JSON literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+AnalysisReport::toText() const
+{
+    std::ostringstream os;
+    for (const Diagnostic &d : diagnostics)
+        if (d.severity == Severity::kError)
+            renderLine(os, d);
+    for (const Diagnostic &d : diagnostics)
+        if (d.severity == Severity::kWarning)
+            renderLine(os, d);
+    if (!diagnostics.empty()) {
+        os << errorCount() << " error(s), " << warningCount()
+           << " warning(s) across " << numTasks << " task(s)\n";
+    }
+    return os.str();
+}
+
+std::string
+AnalysisReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"msim-lint-v1\",\n";
+    os << "  \"tasks\": " << numTasks << ",\n";
+    os << "  \"truncated_tasks\": " << truncatedTasks << ",\n";
+    os << "  \"errors\": " << errorCount() << ",\n";
+    os << "  \"warnings\": " << warningCount() << ",\n";
+    os << "  \"diagnostics\": [";
+    bool first = true;
+    for (const Diagnostic &d : diagnostics) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\"pass\": \"" << passName(d.pass) << "\", "
+           << "\"severity\": \""
+           << (d.severity == Severity::kError ? "error" : "warning")
+           << "\", "
+           << "\"task\": \"" << jsonEscape(d.taskName) << "\", "
+           << "\"pc\": " << d.pc << ", "
+           << "\"reg\": " << int(d.reg) << ", "
+           << "\"file\": \"" << jsonEscape(d.file) << "\", "
+           << "\"line\": " << d.line << ", "
+           << "\"message\": \"" << jsonEscape(d.message) << "\"}";
+    }
+    os << (first ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+}
+
+} // namespace msim::analysis

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Diagnostics produced by the static annotation verifier.
+ *
+ * A diagnostic carries enough source context (file, line, task,
+ * register) to render either as GCC-style one-per-line text —
+ * `file:line: error: message` — or as a JSON document for tooling.
+ */
+
+#ifndef MSIM_ANALYSIS_REPORT_HH
+#define MSIM_ANALYSIS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace msim::analysis {
+
+/** The five verification passes (see verifier.hh). */
+enum class PassId : std::uint8_t {
+    kMaskSoundness,      //!< write outside mask reaches a stale read
+    kMaskPrecision,      //!< mask entry never written nor released
+    kPrematureForward,   //!< write after the register was forwarded
+    kMissingLastUpdate,  //!< path reaches a stop without forwarding
+    kUseBeforeDef,       //!< read of a value no path defines
+};
+
+enum class Severity : std::uint8_t { kWarning, kError };
+
+/** @return the stable kebab-case name of a pass ("mask-soundness"). */
+const char *passName(PassId pass);
+
+/** One finding. */
+struct Diagnostic
+{
+    PassId pass;
+    Severity severity = Severity::kError;
+    /** Start address of the task the finding belongs to. */
+    Addr task = 0;
+    /** Symbolic name of the task (label), when known. */
+    std::string taskName;
+    /** Instruction address the finding anchors to (0 = task-level). */
+    Addr pc = 0;
+    /** Unified register index the finding is about. */
+    RegIndex reg = kNoReg;
+    /** Source file (from the program; may be empty). */
+    std::string file;
+    /** Source line (0 = unknown). */
+    int line = 0;
+    /** Human-readable description, no file/line prefix. */
+    std::string message;
+};
+
+/** Everything the verifier found for one program. */
+struct AnalysisReport
+{
+    std::vector<Diagnostic> diagnostics;
+    /** Number of task descriptors analyzed. */
+    unsigned numTasks = 0;
+    /** Tasks whose CFG walk hit the state cap (facts incomplete). */
+    unsigned truncatedTasks = 0;
+
+    unsigned errorCount() const;
+    unsigned warningCount() const;
+    bool hasErrors() const { return errorCount() > 0; }
+
+    /**
+     * Render one `file:line: severity: message [pass]` line per
+     * diagnostic, errors first, then a summary line when anything
+     * was found.
+     */
+    std::string toText() const;
+
+    /** Render as a JSON document (schema "msim-lint-v1"). */
+    std::string toJson() const;
+};
+
+} // namespace msim::analysis
+
+#endif // MSIM_ANALYSIS_REPORT_HH

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "analysis/verifier.hh"
 #include "asm/lexer.hh"
 #include "common/logging.hh"
 #include "isa/encoding.hh"
@@ -1004,6 +1005,7 @@ Assembler::passTwo(Program &prog)
 {
     prog.textBase = kTextBase;
     prog.symbols = symbols_;
+    prog.sourceName = opts_.fileName;
 
     // Finalize instructions.
     Addr pc = kTextBase;
@@ -1055,6 +1057,7 @@ Assembler::passTwo(Program &prog)
         prog.textBytes.push_back(std::uint8_t((word >> 16) & 0xff));
         prog.textBytes.push_back(std::uint8_t((word >> 24) & 0xff));
         prog.code.push_back(inst);
+        prog.lineNos.push_back(pi.lineNo);
         pc += kInstrBytes;
     }
 
@@ -1079,6 +1082,7 @@ Assembler::passTwo(Program &prog)
                 opts_.fileName, ":", td.lineNo,
                 ": task start is not in .text");
         desc.createMask = td.createMask;
+        desc.lineNo = td.lineNo;
         for (const TargetDecl &t : td.targets) {
             TaskTarget tt;
             tt.spec = t.spec;
@@ -1119,7 +1123,15 @@ Program
 assemble(const std::string &source, const AsmOptions &opts)
 {
     Assembler assembler(source, opts);
-    return assembler.run();
+    Program prog = assembler.run();
+    if (opts.strict && opts.multiscalar) {
+        const analysis::AnnotationVerifier verifier(prog);
+        const analysis::AnalysisReport report = verifier.verify();
+        fatalIf(report.hasErrors(),
+                "strict annotation verification failed:\n",
+                report.toText());
+    }
+    return prog;
 }
 
 } // namespace msim::assembler

@@ -51,6 +51,14 @@ struct AsmOptions
     std::set<std::string> defines;
     /** File name used in diagnostics. */
     std::string fileName = "<asm>";
+    /**
+     * Strict mode: after assembly, run the static annotation
+     * verifier (src/analysis/) and throw FatalError when it reports
+     * any error (stale-value mask holes, premature forwards,
+     * uses of undefined values). Warnings pass. Only meaningful for
+     * multiscalar programs; ignored when multiscalar is false.
+     */
+    bool strict = false;
 };
 
 /**

@@ -68,6 +68,17 @@ struct MsConfig
      */
     bool fastForward = true;
 
+    /**
+     * Dynamic write-set oracle: run the static annotation verifier
+     * (src/analysis/) over the program at construction and assert,
+     * as every task retires, that the registers it actually wrote
+     * and explicitly forwarded are contained in the static may-write
+     * and forward-point sets. Purely a checking mode (used by the
+     * property/fuzz tests); no effect on timing. Tasks whose CFG the
+     * static walk could not fully explore are skipped.
+     */
+    bool writeSetOracle = false;
+
     /** @return the effective number of data banks. */
     unsigned
     effectiveBanks() const

@@ -82,6 +82,8 @@ MultiscalarProcessor::MultiscalarProcessor(const Program &program,
     // for untraced runs (where the hot loop must stay lean anyway).
     fastForward_ = config.fastForward && !tracer_ &&
                    !std::getenv("MSIM_NO_FASTFORWARD");
+    if (config.writeSetOracle)
+        oracle_ = std::make_unique<analysis::AnnotationVerifier>(program);
 }
 
 void
@@ -499,6 +501,11 @@ MultiscalarProcessor::assignPhase(Cycle now)
     }
     pu(unit).assignTask(info.seq, addr, desc->createMask, busy,
                         init.data(), producers.data());
+    if (oracle_) {
+        const analysis::TaskFacts *facts = oracle_->facts(addr);
+        if (facts && !facts->incomplete)
+            pu(unit).setWriteOracle(facts->mayWrite, facts->mayForward);
+    }
     taskInfo_[unit] = info;
     ++numActive_;
     descFetchAddr_ = kBadAddr;

@@ -39,6 +39,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/verifier.hh"
 #include "arb/arb.hh"
 #include "common/stats.hh"
 #include "core/ms_config.hh"
@@ -175,6 +176,8 @@ class MultiscalarProcessor : public PuContext
     std::unique_ptr<ReturnStack> ras_;
     std::unique_ptr<DescriptorCache> descCache_;
     std::unique_ptr<SyscallHandler> syscalls_;
+    /** Static per-task facts backing the write-set oracle. */
+    std::unique_ptr<analysis::AnnotationVerifier> oracle_;
     std::vector<std::unique_ptr<ProcessingUnit>> units_;
     std::vector<ActiveTask> taskInfo_;
 

@@ -64,6 +64,23 @@ struct BranchResult
 };
 
 /**
+ * Destination register of an instruction as the pipelines see it:
+ * $v0 for syscalls, none for stores, inst.rd otherwise. This is the
+ * single operand model shared by the processing units and the static
+ * annotation verifier (src/analysis/) — the two must agree or the
+ * dynamic write-set oracle would diverge from the static may-write
+ * sets.
+ */
+RegIndex destOf(const Instruction &inst);
+
+/**
+ * Collect the source registers of an instruction into @p out (at
+ * most 4). Syscalls read $v0/$a0/$a1; releases read the registers
+ * they release; everything else reads rs/rt when present.
+ */
+unsigned sourcesOf(const Instruction &inst, RegIndex out[4]);
+
+/**
  * Evaluate a register-writing computation (ALU, FP, lui, link).
  *
  * @param inst The instruction (non-memory, non-release).

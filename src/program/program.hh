@@ -58,6 +58,15 @@ class Program
     /** Task descriptors keyed by task start address. */
     std::unordered_map<Addr, TaskDescriptor> tasks;
 
+    /** Source file name the program was assembled from (diagnostics). */
+    std::string sourceName;
+
+    /**
+     * Source line of each instruction (parallel to @ref code); empty
+     * for programs built without the assembler. Line 0 = unknown.
+     */
+    std::vector<int> lineNos;
+
     /** Symbol table (labels from the assembly source). */
     std::map<std::string, Addr> symbols;
 
@@ -92,6 +101,16 @@ class Program
         if (it == symbols.end())
             return std::nullopt;
         return it->second;
+    }
+
+    /** @return the source line of the instruction at @p addr, or 0. */
+    int
+    lineOf(Addr addr) const
+    {
+        if (addr < textBase || (addr - textBase) % kInstrBytes != 0)
+            return 0;
+        size_t idx = (addr - textBase) / kInstrBytes;
+        return idx < lineNos.size() ? lineNos[idx] : 0;
     }
 
     /** @return address one past the last text instruction. */

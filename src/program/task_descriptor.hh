@@ -52,6 +52,9 @@ struct TaskDescriptor
     /** Possible successors, at most kMaxTaskTargets. */
     std::vector<TaskTarget> targets;
 
+    /** Source line of the .task directive (0 = unknown). */
+    int lineNo = 0;
+
     /** Render for diagnostics. */
     std::string toString() const;
 };

@@ -1,41 +1,18 @@
 #include "program/task_graph.hh"
 
 #include <algorithm>
-#include <deque>
 #include <set>
 #include <sstream>
 
-#include "common/logging.hh"
+#include "analysis/cfg.hh"
+#include "isa/exec.hh"
 #include "isa/instruction.hh"
 #include "isa/registers.hh"
 
 namespace msim {
 
-namespace {
-
 using isa::Instruction;
-using isa::Opcode;
 using isa::StopKind;
-
-/** Exploration state: a pc plus a bounded static call stack. */
-struct WalkState
-{
-    Addr pc;
-    std::vector<Addr> retStack;
-
-    bool
-    operator<(const WalkState &o) const
-    {
-        if (pc != o.pc)
-            return pc < o.pc;
-        return retStack < o.retStack;
-    }
-};
-
-constexpr size_t kMaxStates = 20000;
-constexpr size_t kMaxCallDepth = 16;
-
-} // namespace
 
 TaskGraph::TaskGraph(const Program &prog) : prog_(prog)
 {
@@ -54,134 +31,17 @@ TaskGraph::TaskGraph(const Program &prog) : prog_(prog)
               [](const Node &a, const Node &b) {
                   return a.start < b.start;
               });
-    for (Node &node : nodes_)
-        walkTask(node);
-}
-
-void
-TaskGraph::walkTask(Node &node)
-{
-    std::set<WalkState> visited;
-    std::set<Addr> counted;
-    std::set<Addr> exits;
-    std::deque<WalkState> work;
-    work.push_back({node.start, {}});
-
-    auto add_exit = [&](Addr a) { exits.insert(a); };
-
-    while (!work.empty() && visited.size() < kMaxStates) {
-        WalkState st = work.front();
-        work.pop_front();
-        if (!visited.insert(st).second)
-            continue;
-        const Instruction *inst = prog_.instrAt(st.pc);
-        if (!inst)
-            continue;  // ran off the text on some path; runtime guards
-        counted.insert(st.pc);
-
-        const StopKind stop = inst->tags.stop;
-        const Addr fallthrough = st.pc + kInstrBytes;
-
-        if (inst->isCondBranch()) {
-            // The "b" pseudo (beq r,r) and its bne r,r dual have only
-            // one real path.
-            if (inst->isAlwaysTaken() || inst->isNeverTaken()) {
-                const Addr next = inst->isAlwaysTaken()
-                                      ? inst->target
-                                      : fallthrough;
-                const bool exits =
-                    stop == StopKind::kAlways ||
-                    (stop == StopKind::kIfTaken &&
-                     inst->isAlwaysTaken()) ||
-                    (stop == StopKind::kIfNotTaken &&
-                     inst->isNeverTaken());
-                if (exits) {
-                    node.stopReachable = true;
-                    add_exit(next);
-                } else {
-                    work.push_back({next, st.retStack});
-                }
-                continue;
-            }
-            switch (stop) {
-              case StopKind::kAlways:
-                node.stopReachable = true;
-                add_exit(inst->target);
-                add_exit(fallthrough);
-                continue;
-              case StopKind::kIfTaken:
-                node.stopReachable = true;
-                add_exit(inst->target);
-                work.push_back({fallthrough, st.retStack});
-                continue;
-              case StopKind::kIfNotTaken:
-                node.stopReachable = true;
-                add_exit(fallthrough);
-                work.push_back({inst->target, st.retStack});
-                continue;
-              case StopKind::kNone:
-                work.push_back({inst->target, st.retStack});
-                work.push_back({fallthrough, st.retStack});
-                continue;
-            }
-        }
-        if (inst->op == Opcode::kJ) {
-            if (stop == StopKind::kAlways) {
-                node.stopReachable = true;
-                add_exit(inst->target);
-            } else {
-                work.push_back({inst->target, st.retStack});
-            }
-            continue;
-        }
-        if (inst->op == Opcode::kJal || inst->op == Opcode::kJalr) {
-            if (stop == StopKind::kAlways) {
-                node.stopReachable = true;
-                if (inst->op == Opcode::kJal)
-                    add_exit(inst->target);
-                else
-                    node.dynamicExit = true;
-                continue;
-            }
-            if (inst->op == Opcode::kJalr) {
-                // Indirect call with no stop: cannot follow.
-                node.dynamicExit = true;
-                continue;
-            }
-            if (st.retStack.size() < kMaxCallDepth) {
-                WalkState callee{inst->target, st.retStack};
-                callee.retStack.push_back(fallthrough);
-                work.push_back(std::move(callee));
-            }
-            continue;
-        }
-        if (inst->op == Opcode::kJr) {
-            if (stop == StopKind::kAlways) {
-                node.stopReachable = true;
-                node.dynamicExit = true;
-                continue;
-            }
-            if (!st.retStack.empty()) {
-                WalkState ret{st.retStack.back(), st.retStack};
-                ret.retStack.pop_back();
-                work.push_back(std::move(ret));
-            } else {
-                // A return with no statically known caller.
-                node.dynamicExit = true;
-            }
-            continue;
-        }
-        // Straight-line instruction.
-        if (stop == StopKind::kAlways) {
-            node.stopReachable = true;
-            add_exit(fallthrough);
-            continue;
-        }
-        work.push_back({fallthrough, st.retStack});
+    // The per-task facts all derive from the shared CFG walker
+    // (src/analysis/cfg.hh), which the annotation verifier also runs
+    // its dataflow passes over.
+    for (Node &node : nodes_) {
+        const analysis::TaskCfg cfg(prog_, node.start);
+        node.staticExits = cfg.staticExits();
+        node.dynamicExit = cfg.dynamicExit();
+        node.stopReachable = cfg.stopReachable();
+        node.reachableInstructions = unsigned(cfg.reachablePcs().size());
+        node.reachable = cfg.reachablePcs();
     }
-
-    node.staticExits.assign(exits.begin(), exits.end());
-    node.reachableInstructions = unsigned(counted.size());
 }
 
 std::vector<TaskGraphIssue>
@@ -253,46 +113,26 @@ TaskGraph::validate() const
                      " declares successors but no stop condition is "
                      "statically reachable"});
         }
-    }
 
-    // Forward/release mask checks need instruction->task ownership;
-    // do one more pass per task using the same walker.
-    for (const Node &node : nodes_) {
-        const std::string name = labelFor(node.start);
-        // Walk the task region again (pc-only, which over-approximates
-        // reachability and so only strengthens the check), validating
-        // tag bits against the create mask.
-        std::set<Addr> seen;
-        std::deque<Addr> work;
-        work.push_back(node.start);
-        // A simplified pc-only walk is enough for tag checking: it
-        // over-approximates reachability, which only makes the check
-        // stricter within the task's own code region.
-        size_t guard = 0;
-        while (!work.empty() && ++guard < kMaxStates) {
-            const Addr pc = work.front();
-            work.pop_front();
-            if (!seen.insert(pc).second)
-                continue;
+        // Forward/release mask checks over the task's reachable
+        // instructions, as recorded by the shared CFG walk. These
+        // are membership checks, so the pc set is all they need.
+        for (Addr pc : node.reachable) {
             const Instruction *inst = prog_.instrAt(pc);
-            if (!inst)
-                continue;
-            if (inst->tags.forward && inst->rd > 0 &&
-                !node.desc->createMask.test(inst->rd)) {
+            const RegIndex fwd = isa::destOf(*inst);
+            if (inst->tags.forward && fwd > 0 &&
+                !node.desc->createMask.test(fwd)) {
                 issues.push_back(
-                    {TaskGraphIssue::Kind::kForwardOutsideMask,
-                     node.start, pc,
+                    {Kind::kForwardOutsideMask, node.start, pc,
                      "task " + name + " forwards " +
-                         isa::regName(inst->rd) + " at " +
-                         labelFor(pc) +
+                         isa::regName(fwd) + " at " + labelFor(pc) +
                          " outside its create mask"});
             }
             if (inst->cls() == isa::InstClass::kRelease) {
                 for (RegIndex r : {inst->rs, inst->rel2}) {
                     if (r > 0 && !node.desc->createMask.test(r)) {
                         issues.push_back(
-                            {TaskGraphIssue::Kind::kReleaseOutsideMask,
-                             node.start, pc,
+                            {Kind::kReleaseOutsideMask, node.start, pc,
                              "task " + name + " releases " +
                                  isa::regName(r) + " at " +
                                  labelFor(pc) +
@@ -300,28 +140,6 @@ TaskGraph::validate() const
                     }
                 }
             }
-            // Stop conditions end the task's code region.
-            const StopKind stop = inst->tags.stop;
-            if (stop == StopKind::kAlways)
-                continue;
-            if (inst->isCondBranch()) {
-                if (!inst->isNeverTaken() &&
-                    stop != StopKind::kIfTaken)
-                    work.push_back(inst->target);
-                if (!inst->isAlwaysTaken() &&
-                    stop != StopKind::kIfNotTaken)
-                    work.push_back(pc + kInstrBytes);
-                continue;
-            }
-            if (inst->isJump()) {
-                if (inst->op == Opcode::kJ ||
-                    inst->op == Opcode::kJal)
-                    work.push_back(inst->target);
-                if (inst->op == Opcode::kJal)
-                    work.push_back(pc + kInstrBytes);
-                continue;
-            }
-            work.push_back(pc + kInstrBytes);
         }
     }
     return issues;

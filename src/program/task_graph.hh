@@ -19,6 +19,7 @@
 #define MSIM_PROGRAM_TASK_GRAPH_HH
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,8 @@ class TaskGraph
         unsigned reachableInstructions = 0;
         /** True when any stop-tagged instruction is reachable. */
         bool stopReachable = false;
+        /** The reachable instruction addresses themselves. */
+        std::set<Addr> reachable;
     };
 
     /** Build the graph by statically walking every task. The program
@@ -84,7 +87,6 @@ class TaskGraph
     std::string toDot() const;
 
   private:
-    void walkTask(Node &node);
     std::string labelFor(Addr addr) const;
 
     const Program &prog_;

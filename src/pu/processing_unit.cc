@@ -16,42 +16,8 @@ using isa::Opcode;
 using isa::RegValue;
 using isa::StopKind;
 
-/** Destination register of an instruction ($v0 for syscalls). */
-RegIndex
-destOf(const Instruction &inst)
-{
-    if (inst.cls() == InstClass::kSyscall)
-        return isa::intReg(isa::kRegV0);
-    if (inst.cls() == InstClass::kStore)
-        return kNoReg;
-    return inst.rd;
-}
-
-/** Collect the source registers of an instruction. */
-unsigned
-sourcesOf(const Instruction &inst, RegIndex out[4])
-{
-    unsigned n = 0;
-    switch (inst.cls()) {
-      case InstClass::kSyscall:
-        out[n++] = isa::intReg(isa::kRegV0);
-        out[n++] = isa::intReg(isa::kRegA0);
-        out[n++] = isa::intReg(isa::kRegA1);
-        return n;
-      case InstClass::kRelease:
-        if (inst.rs != kNoReg)
-            out[n++] = inst.rs;
-        if (inst.rel2 != kNoReg)
-            out[n++] = inst.rel2;
-        return n;
-      default:
-        if (inst.rs != kNoReg)
-            out[n++] = inst.rs;
-        if (inst.rt != kNoReg)
-            out[n++] = inst.rt;
-        return n;
-    }
-}
+using isa::destOf;
+using isa::sourcesOf;
 
 /** Does this instruction act as an issue barrier (control/syscall)? */
 bool
@@ -114,7 +80,21 @@ ProcessingUnit::assignTask(TaskSeq seq, Addr start_pc,
     awaitRedirect_ = false;
     pendingFetchReady_ = 0;
     status_ = Status::kRunning;
+    oracleArmed_ = false;
+    writtenMask_ = RegMask();
+    explicitFwdMask_ = RegMask();
     stats_.add("tasksAssigned");
+}
+
+void
+ProcessingUnit::setWriteOracle(const RegMask &may_write,
+                               const RegMask &may_forward)
+{
+    panicIf(status_ == Status::kFree,
+            "setWriteOracle needs an assigned task");
+    oracleArmed_ = true;
+    oracleMayWrite_ = may_write;
+    oracleMayForward_ = may_forward;
 }
 
 TaskStats
@@ -136,6 +116,22 @@ TaskStats
 ProcessingUnit::retire()
 {
     panicIf(status_ != Status::kDone, "retire of a non-done unit");
+    if (oracleArmed_) {
+        // The task ran to completion on the correct path: everything
+        // it did must have been foreseen by the static analysis.
+        const RegMask wrote = writtenMask_ - oracleMayWrite_;
+        panicIf(!wrote.empty(),
+                "write-set oracle: unit ", id_, " wrote {",
+                wrote.toString(),
+                "} outside the static may-write set {",
+                oracleMayWrite_.toString(), "}");
+        const RegMask fwd = explicitFwdMask_ - oracleMayForward_;
+        panicIf(!fwd.empty(),
+                "write-set oracle: unit ", id_,
+                " explicitly forwarded {", fwd.toString(),
+                "} outside the static forward-point set {",
+                oracleMayForward_.toString(), "}");
+    }
     activity_ = true;
     TaskStats out = taskStats_;
     status_ = Status::kFree;
@@ -328,12 +324,15 @@ ProcessingUnit::writeback(const Slot &slot)
         panicIf(st.pendingWriters == 0, "writeback without pending writer");
         --st.pendingWriters;
         st.writtenWB = true;
+        writtenMask_.set(dest);
     }
     if (inst.tags.forward) {
         panicIf(dest == kNoReg,
                 "forward bit on an instruction with no destination");
-        if (dest > 0)
+        if (dest > 0) {
+            explicitFwdMask_.set(dest);
             forwardValue(dest, slot.result);
+        }
     }
     taskStats_.instructions += 1;
     stats_.add("instructions");
@@ -481,10 +480,14 @@ ProcessingUnit::tryIssue(Slot &slot, Cycle now)
         slot.doneAt = now + 1;
         break;
       case InstClass::kRelease:
-        if (inst.rs != kNoReg)
+        if (inst.rs > 0) {
+            explicitFwdMask_.set(inst.rs);
             forwardValue(inst.rs, regRead(inst.rs));
-        if (inst.rel2 != kNoReg)
+        }
+        if (inst.rel2 > 0) {
+            explicitFwdMask_.set(inst.rel2);
             forwardValue(inst.rel2, regRead(inst.rel2));
+        }
         slot.doneAt = now + 1;
         stats_.add("releases");
         break;

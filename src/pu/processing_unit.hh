@@ -178,6 +178,22 @@ class ProcessingUnit
     void deliverForward(RegIndex reg, isa::RegValue value,
                         TaskSeq producer);
 
+    /**
+     * Arm the dynamic write-set oracle for the current task: at
+     * retire, the registers the task actually wrote must be
+     * contained in @p may_write and the registers it explicitly
+     * forwarded (!f or release) in @p may_forward, both computed by
+     * the static annotation verifier (src/analysis/). A violation
+     * means the static analysis or the pipeline operand model is
+     * unsound, so it panics. Call after assignTask(); assigning the
+     * next task disarms the oracle. Squashed tasks are not checked:
+     * a wrong-path task can take a jr through a garbage register
+     * value and execute instructions the static walk never maps to
+     * this task.
+     */
+    void setWriteOracle(const RegMask &may_write,
+                        const RegMask &may_forward);
+
     Status status() const { return status_; }
     bool isFree() const { return status_ == Status::kFree; }
     bool isDone() const { return status_ == Status::kDone; }
@@ -289,6 +305,15 @@ class ProcessingUnit
     RegMask forwardedMask_;
     Addr exitTarget_ = 0;
     TaskStats taskStats_;
+
+    // --- write-set oracle ---------------------------------------------
+    bool oracleArmed_ = false;
+    RegMask oracleMayWrite_;
+    RegMask oracleMayForward_;
+    /** Registers the current task has written back. */
+    RegMask writtenMask_;
+    /** Registers explicitly forwarded (!f writeback or release). */
+    RegMask explicitFwdMask_;
 
     std::array<RegState, kNumRegs> regs_;
     std::array<TaskSeq, kNumRegs> expectedProducer_{};

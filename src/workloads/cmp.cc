@@ -33,12 +33,12 @@ BUFB:   .space 40960
         .text
 
 main:
-        la   $20, BUFA
+        la   $20, BUFA        !f
         lw   $9, NBYTES
-        addu $21, $20, $9         # $21 = end of A
+        addu $21, $20, $9     !f  # $21 = end of A
         la   $22, BUFB
-        subu $22, $22, $20        # $22 = B - A displacement
-        li   $16, 0               # first-difference offset (0 = none)
+        subu $22, $22, $20    !f  # $22 = B - A displacement
+        li   $16, 0           !f  # first-difference offset (0 = none)
 @ms     b    CMPLOOP          !s
 
 @ms .task main
@@ -61,6 +61,7 @@ CMPBYTE:
         bne  $9, $10, CMPFOUND
         addu $8, $8, 1
         bne  $8, $20, CMPBYTE
+@ms     release $16               # chunk equal: $16 stays unchanged
         bne  $20, $21, CMPLOOP !s # fall through: buffers are equal
 
 @ms .task CMPEQ

@@ -37,13 +37,13 @@ HTAB:   .space 32768              # 4096 entries x {key, code}
         .text
 
 main:
-        la   $20, INPUT
+        la   $20, INPUT       !f
         lw   $9, NBYTES
-        addu $21, $20, $9         # end of input
-        la   $18, HTAB
-        li   $16, 0               # prev code
-        li   $17, 256             # next free code
-        li   $19, 0               # output checksum
+        addu $21, $20, $9     !f  # end of input
+        la   $18, HTAB        !f
+        li   $16, 0           !f  # prev code
+        li   $17, 256         !f  # next free code
+        li   $19, 0           !f  # output checksum
 @ms     b    CLOOP            !s
 
 @ms .task main

@@ -37,11 +37,11 @@ TERMS:  .space 204864             # (pairs+1) * 16 words, host-poked
         .text
 
 main:
-        la   $20, TERMS
+        la   $20, TERMS       !f
         lw   $9, NPAIRS
         sll  $9, $9, 6            # 64 bytes per term
-        addu $21, $20, $9         # end pointer (last pair start)
-        li   $19, 0               # order statistic accumulator
+        addu $21, $20, $9     !f  # end pointer (last pair start)
+        li   $19, 0           !f  # order statistic accumulator
 @ms     b    CMPPT            !s
 
 @ms .task main

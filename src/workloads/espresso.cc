@@ -38,11 +38,11 @@ MATRIX: .space 73728              # loop 2 rows x 48 words
         .text
 
 main:
-        la   $20, COVER
+        la   $20, COVER       !f
         lw   $9, NWORDS
         sll  $9, $9, 2
-        addu $21, $20, $9         # end of cover
-        li   $19, 0               # bit-count accumulator
+        addu $21, $20, $9     !f  # end of cover
+        li   $19, 0           !f  # bit-count accumulator
 @ms     b    L1               !s
 
 @ms .task main
@@ -76,12 +76,12 @@ L1ACC:
 @ms .create $17, $19, $20, $21
 @ms .endtask
 L1DONE:
-        la   $20, MATRIX
+        la   $20, MATRIX      !f
         lw   $9, NROWS
         mul  $9, $9, 192          # 48 words per row
-        addu $21, $20, $9         # end of matrix
-        move $17, $19             # carry loop-1 result
-        li   $19, 0
+        addu $21, $20, $9     !f  # end of matrix
+        move $17, $19         !f  # carry loop-1 result
+        li   $19, 0           !f
 @ms     b    L2               !s
 
 @ms .task L2

@@ -46,10 +46,10 @@ POOL:     .space 4096             # node pool: {ele, count, next} x 12B
         .text
 
 main:
-        la   $20, BUFFER
+        la   $20, BUFFER      !f
         lw   $9, NSYM
         sll  $9, $9, 2
-        addu $16, $20, $9         # $16 = buffer end
+        addu $16, $20, $9     !f  # $16 = buffer end
 @ms     b    OUTER            !s
 
 @ms .task main

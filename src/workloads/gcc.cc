@@ -37,13 +37,13 @@ OPS:    .space 64512              # {code, operand} pairs, host-poked
         .text
 
 main:
-        la   $20, OPS
+        la   $20, OPS         !f
         lw   $9, NOPS
         sll  $9, $9, 3
-        addu $21, $20, $9
-        la   $22, GLOBS
-        li   $19, 0               # checksum
-@def(SYNC) li $23, 0              # register copy of the hot global
+        addu $21, $20, $9     !f
+        la   $22, GLOBS       !f
+        li   $19, 0           !f  # checksum
+@def(SYNC) li $23, 0          !f  # register copy of the hot global
 @ms     b    GLOOP            !s
 
 @ms .task main

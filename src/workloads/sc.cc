@@ -45,13 +45,13 @@ NODES:  .space 196608             # host-poked expression trees
         .text
 
 main:
-        li   $19, 0               # evaluation checksum
-@ndef(SCGRID) la   $20, WLIST
+        li   $19, 0           !f  # evaluation checksum
+@ndef(SCGRID) la   $20, WLIST !f
 @ndef(SCGRID) lw   $9, NWL
-@def(SCGRID)  la   $20, GRID
+@def(SCGRID)  la   $20, GRID  !f
 @def(SCGRID)  lw   $9, NCELLS
         sll  $9, $9, 2
-        addu $21, $20, $9
+        addu $21, $20, $9     !f
 @ms     b    SCLOOP           !s
 
 @ms .task main

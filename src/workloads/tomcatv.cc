@@ -41,11 +41,11 @@ GRIDB:  .space 10368              # starts zeroed
 
 main:
         la   $8, CONSTS
-        ldc1 $f20, 0($8)          # 0.25
-        ldc1 $f21, 8($8)          # 3.0
-        la   $16, GRIDA           # source grid
-        la   $17, GRIDB           # destination grid
-        lw   $18, NSWEEPS
+        ldc1 $f20, 0($8)      !f  # 0.25
+        ldc1 $f21, 8($8)      !f  # 3.0
+        la   $16, GRIDA       !f  # source grid
+        la   $17, GRIDB       !f  # destination grid
+        lw   $18, NSWEEPS     !f
 @ms     b    SWEEP            !s
 
 @ms .task main
@@ -58,10 +58,10 @@ main:
 @ms .create $19, $20, $21
 @ms .endtask
 SWEEP:
-        addu $20, $17, 288        # dst row 1
-        subu $19, $16, $17        # src - dst displacement
+        addu $20, $17, 288    !f  # dst row 1
+        subu $19, $16, $17    !f  # src - dst displacement
         li   $9, 10080
-        addu $21, $17, $9         # dst row 35 (loop bound)
+        addu $21, $17, $9     !f  # dst row 35 (loop bound)
 @ms     b    ROW              !s
 
 @ms .task ROW
@@ -97,9 +97,9 @@ ROWCOL:
 @ms .endtask
 SWEEPEND:
         move $9, $16              # swap the grids
-        move $16, $17
-        move $17, $9
-        subu $18, $18, 1
+        move $16, $17         !f
+        move $17, $9          !f
+        subu $18, $18, 1      !f
         bne  $18, $0, SWEEP   !s
 
 @ms .task TDONE

@@ -35,12 +35,12 @@ TEXT:   .space 49152              # host-poked text
         .text
 
 main:
-        la   $20, TEXT
+        la   $20, TEXT        !f
         lw   $9, NBYTES
-        addu $21, $20, $9         # $21 = end of text
-        li   $17, 0               # nlines
-        li   $18, 0               # inword (carried across chunks)
-        li   $19, 0               # nwords
+        addu $21, $20, $9     !f  # $21 = end of text
+        li   $17, 0           !f  # nlines
+        li   $18, 0           !f  # inword (carried across chunks)
+        li   $19, 0           !f  # nwords
 @ms     b    WCLOOP           !s
 
 @ms .task main
@@ -54,7 +54,7 @@ main:
 @ms .endtask
 
 WCLOOP:
-@ms @def(EARLYV) beq $20, $21, WCDONE !st
+@ms @def(EARLYV) beq $20, $21, WCEXITV
                                   # EARLYV: test the loop exit at the
                                   # top of the task so a mispredicted
                                   # extra iteration is recognized
@@ -99,6 +99,13 @@ WCMERGE:
 @ndef(EARLYV) bne  $20, $21, WCLOOP !s
 @sc @def(EARLYV)  bne  $20, $21, WCLOOP
 @ms @def(EARLYV)  b    WCLOOP     !s
+@ms @def(EARLYV) WCEXITV:
+                                  # EARLYV early exit: nothing has
+                                  # been accumulated yet, so release
+                                  # the carried counters as-is
+@ms @def(EARLYV) release $17, $18
+@ms @def(EARLYV) release $19, $20
+@ms @def(EARLYV) b    WCDONE      !s
 
 @ms .task WCDONE
 @ms .endtask

@@ -30,12 +30,12 @@ HEAP:   .space 131072
         .text
 
 main:
-        lw   $24, NQ              # N
+        lw   $24, NQ          !f  # N
         li   $9, 1
         sllv $25, $9, $24
-        subu $25, $25, 1          # full column mask
-        li   $19, 0               # checksum
-        li   $20, 0               # first-row column index
+        subu $25, $25, 1      !f  # full column mask
+        li   $19, 0           !f  # checksum
+        li   $20, 0           !f  # first-row column index
 @ms     b    XQLOOP           !s
 
 @ms .task main

@@ -1,0 +1,511 @@
+/**
+ * @file
+ * Annotation verifier tests: one minimal reproducer per diagnostic
+ * (each of the five passes has a program that triggers it and a
+ * near-identical clean twin), CFG construction facts (halt detection,
+ * context-sensitive walk, truncation on unbounded recursion), report
+ * formatting, and the strict assembler gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/verifier.hh"
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+
+namespace msim {
+namespace {
+
+using analysis::AnalysisReport;
+using analysis::AnnotationVerifier;
+using analysis::PassId;
+using analysis::Severity;
+using analysis::TaskCfg;
+
+Program
+ms(const std::string &src)
+{
+    assembler::AsmOptions opts;
+    opts.multiscalar = true;
+    return assembler::assemble(src, opts);
+}
+
+/**
+ * Assemble, verify, and return the report. The program is kept alive
+ * for the verifier's lifetime inside this helper.
+ */
+AnalysisReport
+lint(const std::string &src)
+{
+    Program p = ms(src);
+    AnnotationVerifier v(p);
+    return v.verify();
+}
+
+unsigned
+count(const AnalysisReport &rep, PassId pass)
+{
+    unsigned n = 0;
+    for (const auto &d : rep.diagnostics)
+        if (d.pass == pass)
+            ++n;
+    return n;
+}
+
+const analysis::Diagnostic *
+find(const AnalysisReport &rep, PassId pass)
+{
+    for (const auto &d : rep.diagnostics)
+        if (d.pass == pass)
+            return &d;
+    return nullptr;
+}
+
+// A fully annotated two-task loop: every pass comes back clean.
+const char *const kClean = R"(
+        .text
+main:   li   $20, 0 !f
+        li   $21, 8 !f
+        b    LOOP !s
+.task main
+.targets LOOP
+.create $20, $21
+.endtask
+.task LOOP
+.targets LOOP:loop, DONE
+.create $20
+.endtask
+LOOP:
+        addu $20, $20, 1 !f
+        bne  $20, $21, LOOP !s
+.task DONE
+.endtask
+DONE:
+        move $4, $20
+        li   $2, 1
+        syscall
+        li   $2, 10
+        syscall
+)";
+
+TEST(Analysis, CleanProgramHasNoDiagnostics)
+{
+    const AnalysisReport rep = lint(kClean);
+    EXPECT_TRUE(rep.diagnostics.empty()) << rep.toText();
+    EXPECT_FALSE(rep.hasErrors());
+    EXPECT_EQ(rep.numTasks, 3u);
+    EXPECT_EQ(rep.truncatedTasks, 0u);
+}
+
+// ---- pass 1: mask soundness ----------------------------------------
+
+// A writes $8 outside its create mask; B reads it before redefining.
+// In scalar execution B sees 5; in multiscalar the write stays local
+// to A's unit and B reads whatever $8 held before A.
+const char *const kMaskUnsound = R"(
+        .text
+main:   li   $20, 0 !f
+        b    A !s
+.task main
+.targets A
+.create $20
+.endtask
+.task A
+.targets B
+.create $20
+.endtask
+A:      li   $8, 5
+        addu $20, $20, 1 !f
+        b    B !s
+.task B
+.endtask
+B:      move $4, $8
+        li   $2, 1
+        syscall
+        li   $2, 10
+        syscall
+)";
+
+TEST(Analysis, MaskSoundnessFlagsEscapingWrite)
+{
+    const AnalysisReport rep = lint(kMaskUnsound);
+    ASSERT_EQ(count(rep, PassId::kMaskSoundness), 1u) << rep.toText();
+    const auto *d = find(rep, PassId::kMaskSoundness);
+    EXPECT_EQ(d->severity, Severity::kError);
+    EXPECT_EQ(d->taskName, "A");
+    EXPECT_EQ(d->reg, 8);
+    // The reader is named, and the companion use-before-def finding is
+    // folded into this one rather than reported twice.
+    EXPECT_NE(d->message.find("B"), std::string::npos);
+    EXPECT_EQ(count(rep, PassId::kUseBeforeDef), 0u) << rep.toText();
+    EXPECT_TRUE(rep.hasErrors());
+}
+
+TEST(Analysis, MaskSoundnessCleanWhenRegisterInMask)
+{
+    // Same program, but $8 travels legitimately: it joins A's create
+    // mask and its last update carries the forward bit.
+    std::string fixed = kMaskUnsound;
+    fixed.replace(fixed.find(".create $20\n.endtask\n.task A"
+                             "\n.targets B\n.create $20"),
+                  std::string(".create $20\n.endtask\n.task A"
+                              "\n.targets B\n.create $20")
+                      .size(),
+                  ".create $20\n.endtask\n.task A"
+                  "\n.targets B\n.create $8, $20");
+    fixed.replace(fixed.find("li   $8, 5"), std::string("li   $8, 5").size(),
+                  "li   $8, 5 !f");
+    const AnalysisReport rep = lint(fixed);
+    EXPECT_TRUE(rep.diagnostics.empty()) << rep.toText();
+}
+
+// ---- pass 2: mask precision ----------------------------------------
+
+TEST(Analysis, MaskPrecisionFlagsDeadEntry)
+{
+    // $9 sits in LOOP's create mask but no path writes or releases
+    // it: successors that need $9 wait for LOOP to retire.
+    std::string src = kClean;
+    const std::string from = ".targets LOOP:loop, DONE\n.create $20";
+    src.replace(src.find(from), from.size(),
+                ".targets LOOP:loop, DONE\n.create $9, $20");
+    const AnalysisReport rep = lint(src);
+    ASSERT_EQ(count(rep, PassId::kMaskPrecision), 1u) << rep.toText();
+    const auto *d = find(rep, PassId::kMaskPrecision);
+    EXPECT_EQ(d->severity, Severity::kWarning);
+    EXPECT_EQ(d->taskName, "LOOP");
+    EXPECT_EQ(d->reg, 9);
+    // The dead entry must not additionally warn as a missing last
+    // update: there is no update to tag.
+    EXPECT_EQ(count(rep, PassId::kMissingLastUpdate), 0u)
+        << rep.toText();
+    EXPECT_FALSE(rep.hasErrors());
+}
+
+// ---- pass 3: premature forward -------------------------------------
+
+TEST(Analysis, PrematureForwardFlagsWriteAfterForward)
+{
+    std::string src = kClean;
+    const std::string from = "        addu $20, $20, 1 !f";
+    src.replace(src.find(from), from.size(),
+                "        addu $20, $20, 1 !f\n"
+                "        addu $20, $20, 1");
+    const AnalysisReport rep = lint(src);
+    ASSERT_EQ(count(rep, PassId::kPrematureForward), 1u)
+        << rep.toText();
+    const auto *d = find(rep, PassId::kPrematureForward);
+    EXPECT_EQ(d->severity, Severity::kError);
+    EXPECT_EQ(d->taskName, "LOOP");
+    EXPECT_EQ(d->reg, 20);
+    EXPECT_TRUE(rep.hasErrors());
+}
+
+TEST(Analysis, ForwardOnLastUpdateIsClean)
+{
+    // Two updates are fine when the forward sits on the last one.
+    std::string src = kClean;
+    const std::string from = "        addu $20, $20, 1 !f";
+    src.replace(src.find(from), from.size(),
+                "        addu $20, $20, 1\n"
+                "        addu $20, $20, 1 !f");
+    std::string fixed = src;
+    const std::string bound = "li   $21, 8 !f";
+    fixed.replace(fixed.find(bound), bound.size(), "li   $21, 16 !f");
+    const AnalysisReport rep = lint(fixed);
+    EXPECT_EQ(count(rep, PassId::kPrematureForward), 0u)
+        << rep.toText();
+}
+
+// ---- pass 4: missing last update -----------------------------------
+
+TEST(Analysis, MissingLastUpdateFlagsUnforwardedMaskRegister)
+{
+    std::string src = kClean;
+    const std::string from = "        addu $20, $20, 1 !f";
+    src.replace(src.find(from), from.size(),
+                "        addu $20, $20, 1");
+    const AnalysisReport rep = lint(src);
+    ASSERT_EQ(count(rep, PassId::kMissingLastUpdate), 1u)
+        << rep.toText();
+    const auto *d = find(rep, PassId::kMissingLastUpdate);
+    EXPECT_EQ(d->severity, Severity::kWarning);
+    EXPECT_EQ(d->taskName, "LOOP");
+    EXPECT_EQ(d->reg, 20);
+    EXPECT_FALSE(rep.hasErrors());
+}
+
+TEST(Analysis, ReleaseSatisfiesLastUpdateOnUnwrittenPath)
+{
+    // A branchy task that writes $20 on one path and releases it on
+    // the other: both paths forward, so no stall warning.
+    const char *src = R"(
+        .text
+main:   li   $20, 0 !f
+        li   $21, 8 !f
+        b    LOOP !s
+.task main
+.targets LOOP
+.create $20, $21
+.endtask
+.task LOOP
+.targets LOOP:loop, DONE
+.create $20
+.endtask
+LOOP:
+        andi $8, $20, 1
+        beq  $8, $0, SKIP
+        addu $20, $20, 2 !f
+        b    JOIN
+SKIP:
+        release $20
+        addu $9, $20, 1
+JOIN:
+        slt  $8, $20, $21
+        bne  $8, $0, LOOP !s
+.task DONE
+.endtask
+DONE:
+        li   $2, 10
+        syscall
+)";
+    const AnalysisReport rep = lint(src);
+    EXPECT_EQ(count(rep, PassId::kMissingLastUpdate), 0u)
+        << rep.toText();
+}
+
+// ---- pass 5: use-before-def ----------------------------------------
+
+TEST(Analysis, UseBeforeDefFlagsNeverDefinedRegister)
+{
+    // B consumes $9, but no task on any path from program start ever
+    // defines it.
+    const char *src = R"(
+        .text
+main:   li   $20, 0 !f
+        b    B !s
+.task main
+.targets B
+.create $20
+.endtask
+.task B
+.endtask
+B:      move $4, $9
+        li   $2, 1
+        syscall
+        li   $2, 10
+        syscall
+)";
+    const AnalysisReport rep = lint(src);
+    ASSERT_EQ(count(rep, PassId::kUseBeforeDef), 1u) << rep.toText();
+    const auto *d = find(rep, PassId::kUseBeforeDef);
+    EXPECT_EQ(d->severity, Severity::kError);
+    EXPECT_EQ(d->taskName, "B");
+    EXPECT_EQ(d->reg, 9);
+    EXPECT_TRUE(rep.hasErrors());
+}
+
+TEST(Analysis, UseBeforeDefCleanWhenPredecessorDefines)
+{
+    const char *src = R"(
+        .text
+main:   li   $20, 0 !f
+        li   $9, 7 !f
+        b    B !s
+.task main
+.targets B
+.create $9, $20
+.endtask
+.task B
+.endtask
+B:      move $4, $9
+        li   $2, 1
+        syscall
+        li   $2, 10
+        syscall
+)";
+    const AnalysisReport rep = lint(src);
+    EXPECT_TRUE(rep.diagnostics.empty()) << rep.toText();
+}
+
+// ---- CFG construction ----------------------------------------------
+
+TEST(Analysis, CfgStopsAtExitSyscall)
+{
+    // The code after DONE's exit syscall is a helper function that
+    // belongs to LOOP; DONE's walk must not fall through into it and
+    // pick up its jr $31.
+    const char *src = R"(
+        .text
+main:   li   $20, 0 !f
+        li   $21, 4 !f
+        b    LOOP !s
+.task main
+.targets LOOP
+.create $20, $21
+.endtask
+.task LOOP
+.targets LOOP:loop, DONE
+.create $20
+.endtask
+LOOP:
+        addu $20, $20, 1 !f
+        jal  HELPER
+        bne  $20, $21, LOOP !s
+.task DONE
+.endtask
+DONE:
+        move $4, $20
+        li   $2, 1
+        syscall
+        li   $2, 10
+        syscall
+HELPER: move $9, $20
+        jr   $31
+)";
+    Program p = ms(src);
+    const TaskCfg cfg(p, p.symbols.at("DONE"));
+    EXPECT_FALSE(cfg.truncated());
+    EXPECT_FALSE(cfg.dynamicExit());
+    EXPECT_EQ(cfg.reachablePcs().count(p.symbols.at("HELPER")), 0u);
+    bool halted = false;
+    for (const auto &b : cfg.blocks())
+        halted |= b.haltEnd;
+    EXPECT_TRUE(halted);
+
+    // The same exit-syscall awareness keeps the verifier quiet: the
+    // jal's $31 write in LOOP never reaches a phantom reader in DONE.
+    AnnotationVerifier v(p);
+    const AnalysisReport rep = v.verify();
+    EXPECT_FALSE(rep.hasErrors()) << rep.toText();
+}
+
+TEST(Analysis, CfgWalksCallsContextSensitively)
+{
+    Program p = ms(R"(
+        .text
+main:   li   $20, 0 !f
+        jal  HELPER
+        jal  HELPER
+        b    DONE !s
+.task main
+.targets DONE
+.create $20
+.endtask
+.task DONE
+.endtask
+DONE:
+        li   $2, 10
+        syscall
+HELPER: addu $9, $20, 1
+        jr   $31
+)");
+    const TaskCfg cfg(p, p.symbols.at("main"));
+    EXPECT_FALSE(cfg.truncated());
+    EXPECT_FALSE(cfg.dynamicExit());
+    // Both call sites reach the helper and return to the right
+    // continuation, so the helper's pcs are reachable exactly once in
+    // the pc set but appear in two contexts.
+    EXPECT_EQ(cfg.reachablePcs().count(p.symbols.at("HELPER")), 1u);
+    unsigned helperBlocks = 0;
+    for (const auto &b : cfg.blocks())
+        for (Addr pc : b.pcs)
+            if (pc == p.symbols.at("HELPER"))
+                ++helperBlocks;
+    EXPECT_EQ(helperBlocks, 2u);
+    EXPECT_EQ(cfg.staticExits().size(), 1u);
+}
+
+TEST(Analysis, UnboundedRecursionTruncatesWalkWithoutFalsePositives)
+{
+    // A binary-recursive callee blows the (pc, return stack) state
+    // budget; the task's facts are incomplete, and the verifier must
+    // stay optimistic about it instead of flagging the loop-carried
+    // $20 as undefined.
+    const char *src = R"(
+        .text
+main:   li   $20, 0 !f
+        li   $21, 4 !f
+        b    LOOP !s
+.task main
+.targets LOOP
+.create $20, $21
+.endtask
+.task LOOP
+.targets LOOP:loop, DONE
+.create $20
+.endtask
+LOOP:
+        addu $20, $20, 1 !f
+        move $4, $20
+        jal  REC
+        bne  $20, $21, LOOP !s
+.task DONE
+.endtask
+DONE:
+        li   $2, 10
+        syscall
+REC:
+        beq  $4, $0, RLEAF
+        subu $29, $29, 8
+        sw   $31, 0($29)
+        sw   $4, 4($29)
+        subu $4, $4, 1
+        jal  REC
+        lw   $4, 4($29)
+        subu $4, $4, 1
+        jal  REC
+        lw   $31, 0($29)
+        addu $29, $29, 8
+        jr   $31
+RLEAF:
+        li   $2, 0
+        jr   $31
+)";
+    Program p = ms(src);
+    AnnotationVerifier v(p);
+    ASSERT_NE(v.facts(p.symbols.at("LOOP")), nullptr);
+    EXPECT_TRUE(v.facts(p.symbols.at("LOOP"))->incomplete);
+    const AnalysisReport rep = v.verify();
+    EXPECT_FALSE(rep.hasErrors()) << rep.toText();
+    EXPECT_GE(rep.truncatedTasks, 1u);
+}
+
+// ---- report formats and the strict gate ----------------------------
+
+TEST(Analysis, TextAndJsonReportsCarryTheDiagnostic)
+{
+    assembler::AsmOptions opts;
+    opts.multiscalar = true;
+    opts.fileName = "bad.ms.s";
+    Program p = assembler::assemble(kMaskUnsound, opts);
+    AnnotationVerifier v(p);
+    const AnalysisReport rep = v.verify();
+    ASSERT_TRUE(rep.hasErrors());
+
+    const std::string text = rep.toText();
+    EXPECT_NE(text.find("bad.ms.s:"), std::string::npos) << text;
+    EXPECT_NE(text.find("error:"), std::string::npos) << text;
+    EXPECT_NE(text.find("[mask-soundness]"), std::string::npos) << text;
+
+    const std::string json = rep.toJson();
+    EXPECT_NE(json.find("\"msim-lint-v1\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"mask-soundness\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"error\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"bad.ms.s\""), std::string::npos) << json;
+}
+
+TEST(Analysis, StrictAssemblerRejectsUnsoundProgram)
+{
+    assembler::AsmOptions opts;
+    opts.multiscalar = true;
+    opts.strict = true;
+    EXPECT_THROW(assembler::assemble(kMaskUnsound, opts), FatalError);
+    // The clean twin passes the same gate.
+    Program p = assembler::assemble(kClean, opts);
+    EXPECT_EQ(p.tasks.size(), 3u);
+}
+
+} // namespace
+} // namespace msim

@@ -358,22 +358,30 @@ TEST_P(RandomProgram, AllMachinesMatchTheReference)
         MsConfig cfg;
     };
     std::vector<Shape> shapes;
+    // Every shape also runs with the dynamic write-set oracle armed:
+    // at each task retire the actually written and explicitly
+    // forwarded register sets must be contained in the static
+    // analysis' may-sets (panic otherwise), so 200 seeds x 6 shapes
+    // continuously cross-check the verifier against the machine.
     {
         Shape s;
         s.name = "2-unit";
         s.cfg.numUnits = 2;
+        s.cfg.writeSetOracle = true;
         shapes.push_back(s);
     }
     {
         Shape s;
         s.name = "4-unit";
         s.cfg.numUnits = 4;
+        s.cfg.writeSetOracle = true;
         shapes.push_back(s);
     }
     {
         Shape s;
         s.name = "8-unit 2-way ooo";
         s.cfg.numUnits = 8;
+        s.cfg.writeSetOracle = true;
         s.cfg.pu.issueWidth = 2;
         s.cfg.pu.outOfOrder = true;
         shapes.push_back(s);
@@ -382,6 +390,7 @@ TEST_P(RandomProgram, AllMachinesMatchTheReference)
         Shape s;
         s.name = "4-unit slow ring";
         s.cfg.numUnits = 4;
+        s.cfg.writeSetOracle = true;
         s.cfg.ringHopLatency = 3;
         shapes.push_back(s);
     }
@@ -389,6 +398,7 @@ TEST_P(RandomProgram, AllMachinesMatchTheReference)
         Shape s;
         s.name = "8-unit tiny arb (stall)";
         s.cfg.numUnits = 8;
+        s.cfg.writeSetOracle = true;
         s.cfg.arbEntriesPerBank = 2;
         s.cfg.arbFullPolicy = ArbFullPolicy::kStall;
         shapes.push_back(s);
@@ -397,6 +407,7 @@ TEST_P(RandomProgram, AllMachinesMatchTheReference)
         Shape s;
         s.name = "4-unit tiny arb (squash)";
         s.cfg.numUnits = 4;
+        s.cfg.writeSetOracle = true;
         s.cfg.arbEntriesPerBank = 2;
         s.cfg.arbFullPolicy = ArbFullPolicy::kSquash;
         shapes.push_back(s);
@@ -421,6 +432,8 @@ TEST_P(RandomProgram, AllMachinesMatchTheReference)
     {
         MsConfig on_cfg;
         MsConfig off_cfg;
+        on_cfg.writeSetOracle = true;
+        off_cfg.writeSetOracle = true;
         off_cfg.fastForward = false;
         MultiscalarProcessor on_proc(ms_prog, on_cfg);
         MultiscalarProcessor off_proc(ms_prog, off_cfg);

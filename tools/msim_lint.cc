@@ -1,0 +1,182 @@
+/**
+ * @file
+ * msim-lint: static annotation verification for multiscalar programs.
+ *
+ *   msim-lint [options] <workload-or-file>...
+ *   msim-lint --all
+ *
+ * Each positional argument names either a registered workload or a
+ * path to an assembly source file (anything containing '.' or '/' is
+ * treated as a path). Options:
+ *
+ *   --all           lint every registered workload
+ *   --scalar        assemble the scalar variant (no annotations;
+ *                   useful to prove the shared source still parses)
+ *   --define NAME   define an assembly variant symbol (repeatable)
+ *   --json          emit one JSON report per input (msim-lint-v1)
+ *   --strict        exit nonzero on warnings as well as errors
+ *   --quiet         suppress clean-input chatter
+ *
+ * Exit status: 0 when no input has errors (nor, with --strict,
+ * warnings); 1 when findings gate; 2 on usage or assembly failure.
+ *
+ * Example diagnostic:
+ *
+ *   sc.ms.s:24: warning: create-mask register $19 of task MAIN
+ *   reaches the stop on some path without a forward or release;
+ *   successors stall until the task retires (tag the last update
+ *   with !f or release the register) [missing-last-update]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.hh"
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: msim-lint [--all] [--scalar] [--define NAME]\n"
+                 "                 [--json] [--strict] [--quiet]\n"
+                 "                 <workload-or-file>...\n"
+                 "see the header of tools/msim_lint.cc for details\n");
+    return 2;
+}
+
+struct Input
+{
+    std::string label;   // what to report the input as
+    std::string source;  // assembly text
+    std::string fileName;
+};
+
+bool
+looksLikePath(const std::string &arg)
+{
+    return arg.find('.') != std::string::npos ||
+           arg.find('/') != std::string::npos;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool all = false;
+    bool scalar = false;
+    bool json = false;
+    bool strict = false;
+    bool quiet = false;
+    std::set<std::string> defines;
+    std::vector<std::string> args;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--all") {
+            all = true;
+        } else if (arg == "--scalar") {
+            scalar = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--strict") {
+            strict = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--define") {
+            if (++i >= argc)
+                return usage();
+            defines.insert(argv[i]);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "msim-lint: unknown option %s\n",
+                         arg.c_str());
+            return usage();
+        } else {
+            args.push_back(arg);
+        }
+    }
+    if (!all && args.empty())
+        return usage();
+
+    std::vector<Input> inputs;
+    if (all) {
+        for (const auto &[name, factory] : msim::workloads::registry()) {
+            const msim::workloads::Workload w = factory(1);
+            inputs.push_back(
+                {name, w.source, name + (scalar ? ".sc.s" : ".ms.s")});
+        }
+    }
+    for (const std::string &arg : args) {
+        const auto &reg = msim::workloads::registry();
+        auto it = reg.find(arg);
+        if (it != reg.end()) {
+            const msim::workloads::Workload w = it->second(1);
+            inputs.push_back(
+                {arg, w.source, arg + (scalar ? ".sc.s" : ".ms.s")});
+            continue;
+        }
+        if (!looksLikePath(arg)) {
+            std::fprintf(stderr,
+                         "msim-lint: '%s' is neither a registered "
+                         "workload nor a file path\n",
+                         arg.c_str());
+            return 2;
+        }
+        std::ifstream in(arg);
+        if (!in) {
+            std::fprintf(stderr, "msim-lint: cannot open %s\n",
+                         arg.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        inputs.push_back({arg, text.str(), arg});
+    }
+
+    unsigned totalErrors = 0;
+    unsigned totalWarnings = 0;
+    for (const Input &input : inputs) {
+        msim::assembler::AsmOptions opts;
+        opts.multiscalar = !scalar;
+        opts.defines = defines;
+        opts.fileName = input.fileName;
+        msim::Program prog;
+        try {
+            prog = msim::assembler::assemble(input.source, opts);
+        } catch (const msim::FatalError &err) {
+            std::fprintf(stderr, "msim-lint: %s: assembly failed: %s\n",
+                         input.label.c_str(), err.what());
+            return 2;
+        }
+
+        const msim::analysis::AnnotationVerifier verifier(prog);
+        const msim::analysis::AnalysisReport report = verifier.verify();
+        totalErrors += report.errorCount();
+        totalWarnings += report.warningCount();
+
+        if (json) {
+            std::fputs(report.toJson().c_str(), stdout);
+        } else if (!report.diagnostics.empty()) {
+            std::fputs(report.toText().c_str(), stdout);
+        } else if (!quiet) {
+            std::printf("%s: clean (%u task(s))\n", input.label.c_str(),
+                        report.numTasks);
+        }
+    }
+
+    if (totalErrors > 0)
+        return 1;
+    if (strict && totalWarnings > 0)
+        return 1;
+    return 0;
+}

@@ -1,0 +1,457 @@
+/**
+ * @file
+ * msim-server load generator: N closed-loop loopback clients drive a
+ * mixed request stream (pings, stats, assembles, scalar/multiscalar
+ * runs, small sweeps) at an in-process server for a fixed wall-clock
+ * window and report requests/s plus p50/p95/p99 latency per request
+ * class and overall, at saturation (every client always has exactly
+ * one request in flight).
+ *
+ *   bench_server_throughput [--clients N] [--seconds S] [--jobs N]
+ *                           [--queue N] [--json FILE] [--smoke]
+ *
+ * The request mix is deterministic per client (seeded minstd_rand),
+ * so two runs issue the same request sequence. The report
+ * (BENCH_server_throughput.json, schema msim-bench-server-v1) also
+ * carries the server's own counters — program-cache hit rate, shed
+ * and error counts — so the perf trajectory can spot cache or
+ * admission regressions, not just latency ones.
+ *
+ * Exit status: 0 when every response was well-formed and no request
+ * class was silently starved; 1 otherwise. --smoke shrinks the run
+ * for CI gating (fewer clients, sub-second window) but keeps every
+ * request class and the JSON report.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "server/client.hh"
+#include "server/protocol.hh"
+#include "server/server.hh"
+
+namespace {
+
+using namespace msim;
+using Clock = std::chrono::steady_clock;
+
+struct Options
+{
+    unsigned clients = 8;
+    double seconds = 5.0;
+    unsigned jobs = 0;
+    std::size_t queue = 256;
+    std::string jsonPath = "BENCH_server_throughput.json";
+    bool smoke = false;
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_server_throughput [--clients N] [--seconds S]\n"
+        "                               [--jobs N] [--queue N]\n"
+        "                               [--json FILE] [--smoke]\n");
+    return 2;
+}
+
+/** The request classes of the mix. */
+enum class Req
+{
+    kPing,
+    kStats,
+    kAssemble,
+    kRunScalar,
+    kRunMulti,
+    kSweep,
+};
+
+constexpr const char *kReqNames[] = {
+    "ping", "stats", "assemble", "run_scalar", "run_multi", "sweep",
+};
+constexpr std::size_t kNumReq = 6;
+
+/**
+ * Weighted request mix: mostly runs (the service's purpose), a
+ * steady trickle of everything else. Sweeps are rare but heavy (3
+ * cells each).
+ */
+Req
+pickRequest(std::minstd_rand &rng)
+{
+    const unsigned r = unsigned(rng() % 100);
+    if (r < 10)
+        return Req::kPing;
+    if (r < 15)
+        return Req::kStats;
+    if (r < 30)
+        return Req::kAssemble;
+    if (r < 60)
+        return Req::kRunScalar;
+    if (r < 90)
+        return Req::kRunMulti;
+    return Req::kSweep;
+}
+
+/** Latencies of one client, microseconds, per request class. */
+struct ClientTally
+{
+    std::vector<double> latencyUs[kNumReq];
+    std::uint64_t errors = 0;
+    std::string firstError;
+};
+
+/** The workloads the mix touches (small, fast cells). */
+constexpr const char *kMixWorkloads[] = {"example", "wc", "cmp"};
+
+json::Value
+buildRequest(Req req, std::minstd_rand &rng, std::int64_t id)
+{
+    switch (req) {
+      case Req::kPing: {
+        json::Value v = json::Value::object();
+        v.set("type", json::Value("ping"));
+        v.set("id", json::Value(id));
+        return v;
+      }
+      case Req::kStats: {
+        json::Value v = json::Value::object();
+        v.set("type", json::Value("stats"));
+        v.set("id", json::Value(id));
+        return v;
+      }
+      case Req::kAssemble: {
+        server::AssembleRequest a;
+        a.workload = kMixWorkloads[rng() % 3];
+        a.multiscalar = (rng() % 2) == 0;
+        return server::makeAssembleRequest(a, id);
+      }
+      case Req::kRunScalar: {
+        RunSpec spec;
+        spec.multiscalar = false;
+        return server::makeRunRequest(kMixWorkloads[rng() % 3], spec,
+                                      1, id);
+      }
+      case Req::kRunMulti: {
+        RunSpec spec;
+        spec.multiscalar = true;
+        spec.ms.numUnits = 4;
+        return server::makeRunRequest(kMixWorkloads[rng() % 3], spec,
+                                      1, id);
+      }
+      case Req::kSweep: {
+        std::vector<exp::Cell> cells;
+        for (const char *name : kMixWorkloads) {
+            exp::Cell cell;
+            cell.name = std::string("mix/") + name;
+            cell.workload = name;
+            cell.spec.multiscalar = true;
+            cell.spec.ms.numUnits = 4;
+            cells.push_back(std::move(cell));
+        }
+        return server::makeSweepRequest(cells, id);
+      }
+    }
+    fatal("unhandled request class");
+}
+
+void
+clientLoop(unsigned index, std::uint16_t port, Clock::time_point tEnd,
+           ClientTally &tally)
+{
+    std::minstd_rand rng(index + 1);
+    server::Client client;
+    client.connect("127.0.0.1", port);
+
+    std::int64_t id = std::int64_t(index) * 1'000'000;
+    // One deterministic pass over every request class first — the
+    // per-class percentiles must have samples even on a slow host
+    // whose window closes after a handful of requests — then the
+    // weighted random mix until the window ends.
+    std::size_t sent = 0;
+    while (sent < kNumReq || Clock::now() < tEnd) {
+        const Req req = sent < kNumReq ? Req(sent) : pickRequest(rng);
+        ++sent;
+        const json::Value request = buildRequest(req, rng, ++id);
+        const auto t0 = Clock::now();
+        bool ok = true;
+        std::string error;
+        try {
+            if (req == Req::kSweep) {
+                const server::Client::SweepOutcome outcome =
+                    client.sweep(request);
+                const json::Value *failed =
+                    outcome.done.find("cells_failed");
+                if (failed == nullptr || failed->asInt() != 0) {
+                    ok = false;
+                    error = "sweep reported failed cells";
+                }
+            } else {
+                const json::Value response = client.call(request);
+                if (server::isErrorFrame(response)) {
+                    ok = false;
+                    error = response.dump();
+                }
+            }
+        } catch (const FatalError &e) {
+            ok = false;
+            error = e.what();
+        }
+        const double us =
+            std::chrono::duration<double, std::micro>(Clock::now() -
+                                                      t0)
+                .count();
+        if (ok) {
+            tally.latencyUs[std::size_t(req)].push_back(us);
+        } else {
+            ++tally.errors;
+            if (tally.firstError.empty())
+                tally.firstError = error;
+        }
+    }
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = p * double(sorted.size() - 1);
+    const std::size_t lo = std::size_t(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - double(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+json::Value
+latencyJson(std::vector<double> &sorted)
+{
+    json::Value v = json::Value::object();
+    v.set("count", json::Value(sorted.size()));
+    v.set("p50_us", json::Value(percentile(sorted, 0.50)));
+    v.set("p95_us", json::Value(percentile(sorted, 0.95)));
+    v.set("p99_us", json::Value(percentile(sorted, 0.99)));
+    if (!sorted.empty()) {
+        double sum = 0;
+        for (double x : sorted)
+            sum += x;
+        v.set("mean_us", json::Value(sum / double(sorted.size())));
+        v.set("max_us", json::Value(sorted.back()));
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--clients") {
+            opt.clients =
+                unsigned(std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--seconds") {
+            opt.seconds = std::strtod(value(), nullptr);
+        } else if (arg == "--jobs" || arg == "-j") {
+            opt.jobs = unsigned(std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--queue") {
+            opt.queue = std::strtoul(value(), nullptr, 10);
+        } else if (arg == "--json") {
+            opt.jsonPath = value();
+        } else if (arg == "--smoke") {
+            opt.smoke = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+    if (opt.smoke) {
+        opt.clients = std::min(opt.clients, 4u);
+        opt.seconds = std::min(opt.seconds, 1.0);
+    }
+    if (opt.clients == 0 || opt.seconds <= 0)
+        return usage();
+
+    server::ServerConfig config;
+    config.service.jobs = opt.jobs;
+    config.service.queueCapacity = opt.queue;
+    config.maxConnections = opt.clients + 8;
+    server::Server srv(config);
+    srv.start();
+
+    // Warm the program cache so the timed window measures service
+    // latency, not first-touch assembly; the report still carries the
+    // cache counters for the whole run.
+    {
+        server::Client warm;
+        warm.connect("127.0.0.1", srv.port());
+        for (const char *name : kMixWorkloads) {
+            for (const bool ms : {false, true}) {
+                server::AssembleRequest a;
+                a.workload = name;
+                a.multiscalar = ms;
+                const json::Value r =
+                    warm.call(server::makeAssembleRequest(a, 1));
+                fatalIf(server::isErrorFrame(r),
+                        "warmup assemble failed: ", r.dump());
+            }
+        }
+    }
+
+    std::printf("bench_server_throughput: %u clients, %.1fs window, "
+                "%u workers, queue %zu\n",
+                opt.clients, opt.seconds,
+                srv.service().pool().threads(),
+                srv.service().pool().queueCapacity());
+
+    std::vector<ClientTally> tallies(opt.clients);
+    std::vector<std::thread> threads;
+    const auto t0 = Clock::now();
+    const auto tEnd =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(opt.seconds));
+    threads.reserve(opt.clients);
+    for (unsigned i = 0; i < opt.clients; ++i)
+        threads.emplace_back([&, i] {
+            clientLoop(i, srv.port(), tEnd, tallies[i]);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    // Final server-side counters, then shut the server down.
+    const unsigned workers = srv.service().pool().threads();
+    json::Value stats;
+    {
+        server::Client c;
+        c.connect("127.0.0.1", srv.port());
+        json::Value statsReq = json::Value::object();
+        statsReq.set("type", json::Value("stats"));
+        statsReq.set("id", json::Value(1));
+        const json::Value response = c.call(statsReq);
+        const json::Value *sv = response.find("stats");
+        stats = sv != nullptr ? *sv : json::Value::object();
+    }
+    srv.shutdown();
+
+    // Merge per-client tallies.
+    std::vector<double> perClass[kNumReq];
+    std::vector<double> overall;
+    std::uint64_t errors = 0;
+    std::string firstError;
+    for (ClientTally &tally : tallies) {
+        for (std::size_t c = 0; c < kNumReq; ++c) {
+            perClass[c].insert(perClass[c].end(),
+                               tally.latencyUs[c].begin(),
+                               tally.latencyUs[c].end());
+            overall.insert(overall.end(), tally.latencyUs[c].begin(),
+                           tally.latencyUs[c].end());
+        }
+        errors += tally.errors;
+        if (firstError.empty())
+            firstError = tally.firstError;
+    }
+    for (auto &v : perClass)
+        std::sort(v.begin(), v.end());
+    std::sort(overall.begin(), overall.end());
+
+    const double rps = double(overall.size()) / elapsed;
+    std::printf("  %zu requests in %.2fs = %.0f requests/s, "
+                "%llu errors\n",
+                overall.size(), elapsed, rps,
+                (unsigned long long)errors);
+    std::printf("  overall latency: p50 %.0fus  p95 %.0fus  "
+                "p99 %.0fus\n",
+                percentile(overall, 0.50), percentile(overall, 0.95),
+                percentile(overall, 0.99));
+    for (std::size_t c = 0; c < kNumReq; ++c)
+        std::printf("  %-10s %8zu reqs  p50 %8.0fus  p99 %8.0fus\n",
+                    kReqNames[c], perClass[c].size(),
+                    percentile(perClass[c], 0.50),
+                    percentile(perClass[c], 0.99));
+
+    // Cache hit rate over the whole run (warmup included).
+    double hitRate = 0.0;
+    if (const json::Value *cache = stats.find("program_cache")) {
+        const json::Value *hits = cache->find("hits");
+        const json::Value *misses = cache->find("misses");
+        if (hits != nullptr && misses != nullptr &&
+            hits->asInt() + misses->asInt() > 0)
+            hitRate = double(hits->asInt()) /
+                      double(hits->asInt() + misses->asInt());
+    }
+    std::printf("  program cache hit rate: %.1f%%\n", 100 * hitRate);
+
+    json::Value doc = json::Value::object();
+    doc.set("schema", json::Value("msim-bench-server-v1"));
+    doc.set("clients", json::Value(opt.clients));
+    doc.set("seconds", json::Value(elapsed));
+    doc.set("workers", json::Value(workers));
+    doc.set("queue_capacity", json::Value(opt.queue));
+    doc.set("smoke", json::Value(opt.smoke));
+    doc.set("requests_total", json::Value(overall.size()));
+    doc.set("requests_per_s", json::Value(rps));
+    doc.set("errors", json::Value(errors));
+    doc.set("latency", latencyJson(overall));
+    json::Value classes = json::Value::object();
+    for (std::size_t c = 0; c < kNumReq; ++c)
+        classes.set(kReqNames[c], latencyJson(perClass[c]));
+    doc.set("latency_by_class", std::move(classes));
+    doc.set("cache_hit_rate", json::Value(hitRate));
+    doc.set("server_stats", std::move(stats));
+
+    {
+        std::ofstream os(opt.jsonPath);
+        fatalIf(!os, "cannot open --json file '", opt.jsonPath, "'");
+        os << doc.dump() << "\n";
+        std::printf("wrote JSON report: %s\n", opt.jsonPath.c_str());
+    }
+
+    if (errors != 0) {
+        std::fprintf(stderr,
+                     "bench_server_throughput: %llu request(s) "
+                     "failed; first error: %s\n",
+                     (unsigned long long)errors, firstError.c_str());
+        return 1;
+    }
+    // Every class must have seen traffic — a starved class means the
+    // mix (or the server) is broken and the percentiles above lie.
+    for (std::size_t c = 0; c < kNumReq; ++c) {
+        if (perClass[c].empty()) {
+            std::fprintf(stderr,
+                         "bench_server_throughput: request class %s "
+                         "saw no completed requests\n",
+                         kReqNames[c]);
+            return 1;
+        }
+    }
+    return 0;
+}

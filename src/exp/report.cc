@@ -101,37 +101,37 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-namespace {
-
 void
-writeCell(std::ostream &os, const CellResult &c)
+writeJsonCell(std::ostream &os, const CellResult &c,
+              const std::string &indent)
 {
     const RunResult &r = c.result;
-    os << "    {\n";
-    os << "      \"name\": \"" << jsonEscape(c.name) << "\",\n";
-    os << "      \"workload\": \"" << jsonEscape(c.workload)
+    const std::string in = indent + "  ";
+    os << indent << "{\n";
+    os << in << "\"name\": \"" << jsonEscape(c.name) << "\",\n";
+    os << in << "\"workload\": \"" << jsonEscape(c.workload)
        << "\",\n";
-    os << "      \"ok\": " << (c.ok ? "true" : "false") << ",\n";
+    os << in << "\"ok\": " << (c.ok ? "true" : "false") << ",\n";
     if (c.ok)
-        os << "      \"error\": null,\n";
+        os << in << "\"error\": null,\n";
     else
-        os << "      \"error\": \"" << jsonEscape(c.error) << "\",\n";
-    os << "      \"wall_seconds\": " << c.wallSeconds << ",\n";
-    os << "      \"cycles\": " << r.cycles << ",\n";
-    os << "      \"instructions\": " << r.instructions << ",\n";
-    os << "      \"squashed_instructions\": " << r.squashedInstructions
+        os << in << "\"error\": \"" << jsonEscape(c.error) << "\",\n";
+    os << in << "\"wall_seconds\": " << c.wallSeconds << ",\n";
+    os << in << "\"cycles\": " << r.cycles << ",\n";
+    os << in << "\"instructions\": " << r.instructions << ",\n";
+    os << in << "\"squashed_instructions\": " << r.squashedInstructions
        << ",\n";
-    os << "      \"ipc\": " << r.ipc() << ",\n";
-    os << "      \"tasks_retired\": " << r.tasksRetired << ",\n";
-    os << "      \"tasks_squashed\": " << r.tasksSquashed << ",\n";
-    os << "      \"task_predictions\": " << r.taskPredictions << ",\n";
-    os << "      \"task_pred_hits\": " << r.taskPredHits << ",\n";
-    os << "      \"pred_accuracy\": " << r.predAccuracy() << ",\n";
-    os << "      \"control_squashes\": " << r.controlSquashes << ",\n";
-    os << "      \"memory_squashes\": " << r.memorySquashes << ",\n";
-    os << "      \"arb_full_squashes\": " << r.arbFullSquashes
+    os << in << "\"ipc\": " << r.ipc() << ",\n";
+    os << in << "\"tasks_retired\": " << r.tasksRetired << ",\n";
+    os << in << "\"tasks_squashed\": " << r.tasksSquashed << ",\n";
+    os << in << "\"task_predictions\": " << r.taskPredictions << ",\n";
+    os << in << "\"task_pred_hits\": " << r.taskPredHits << ",\n";
+    os << in << "\"pred_accuracy\": " << r.predAccuracy() << ",\n";
+    os << in << "\"control_squashes\": " << r.controlSquashes << ",\n";
+    os << in << "\"memory_squashes\": " << r.memorySquashes << ",\n";
+    os << in << "\"arb_full_squashes\": " << r.arbFullSquashes
        << ",\n";
-    os << "      \"accounting\": {";
+    os << in << "\"accounting\": {";
     bool first = true;
     for (std::size_t i = 0; i < kNumCycleCats; ++i) {
         if (!first)
@@ -141,10 +141,8 @@ writeCell(std::ostream &os, const CellResult &c)
            << "\": " << r.accounting[CycleCat(i)];
     }
     os << "}\n";
-    os << "    }";
+    os << indent << "}";
 }
-
-} // namespace
 
 void
 writeJsonReport(std::ostream &os, const SweepResult &sweep)
@@ -161,7 +159,7 @@ writeJsonReport(std::ostream &os, const SweepResult &sweep)
        << ", \"misses\": " << sweep.cacheMisses << "},\n";
     os << "  \"cells\": [\n";
     for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
-        writeCell(os, sweep.cells[i]);
+        writeJsonCell(os, sweep.cells[i]);
         os << (i + 1 < sweep.cells.size() ? ",\n" : "\n");
     }
     os << "  ]\n";

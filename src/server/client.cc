@@ -1,0 +1,173 @@
+#include "server/client.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace msim::server {
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client &&other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Client::connect(const std::string &host, std::uint16_t port)
+{
+    fatalIf(fd_ >= 0, "client already connected");
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(fd < 0, "socket() failed: ", std::strerror(errno));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        fatal("invalid server address '", host, "'");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("cannot connect to ", host, ":", port, ": ",
+              std::strerror(err));
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fd_ = fd;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Client::send(const json::Value &request)
+{
+    fatalIf(fd_ < 0, "client is not connected");
+    try {
+        writeFrame(fd_, request.dump());
+    } catch (const ProtocolError &e) {
+        fatal("send failed: ", e.what());
+    }
+}
+
+json::Value
+Client::recv()
+{
+    fatalIf(fd_ < 0, "client is not connected");
+    std::string payload;
+    bool more = false;
+    try {
+        more = readFrame(fd_, payload);
+    } catch (const ProtocolError &e) {
+        fatal("receive failed: ", e.what());
+    }
+    fatalIf(!more, "server closed the connection");
+    try {
+        return json::Value::parse(payload);
+    } catch (const json::ParseError &e) {
+        fatal("server sent malformed JSON: ", e.what());
+    }
+}
+
+json::Value
+Client::call(const json::Value &request)
+{
+    send(request);
+    return recv();
+}
+
+Client::SweepOutcome
+Client::sweep(const json::Value &request,
+              const std::function<void(const StreamedCell &)> &onCell)
+{
+    send(request);
+    SweepOutcome outcome;
+    while (true) {
+        json::Value frame = recv();
+        const json::Value *type = frame.find("type");
+        fatalIf(type == nullptr || !type->isString(),
+                "malformed frame in sweep stream");
+        if (type->asString() == "error")
+            fatal("sweep failed: ",
+                  frame.find("message") != nullptr &&
+                          frame.find("message")->isString()
+                      ? frame.find("message")->asString()
+                      : "(no message)",
+                  " [", errorCode(frame), "]");
+        if (type->asString() == "sweep_done") {
+            outcome.done = std::move(frame);
+            break;
+        }
+        fatalIf(type->asString() != "sweep_cell",
+                "unexpected frame type '", type->asString(),
+                "' in sweep stream");
+        StreamedCell cell;
+        const json::Value *index = frame.find("index");
+        fatalIf(index == nullptr || !index->isNumber(),
+                "sweep_cell frame without index");
+        cell.index = std::size_t(index->asInt());
+        const json::Value *row = frame.find("cell");
+        fatalIf(row == nullptr || !row->isObject(),
+                "sweep_cell frame without cell row");
+        cell.cell = *row;
+        if (onCell)
+            onCell(cell);
+        outcome.cells.push_back(std::move(cell));
+    }
+    std::sort(outcome.cells.begin(), outcome.cells.end(),
+              [](const StreamedCell &a, const StreamedCell &b) {
+                  return a.index < b.index;
+              });
+    return outcome;
+}
+
+bool
+isErrorFrame(const json::Value &response)
+{
+    const json::Value *type = response.find("type");
+    return type != nullptr && type->isString() &&
+           type->asString() == "error";
+}
+
+std::string
+errorCode(const json::Value &response)
+{
+    if (!isErrorFrame(response))
+        return "";
+    const json::Value *code = response.find("code");
+    return code != nullptr && code->isString() ? code->asString()
+                                               : "";
+}
+
+} // namespace msim::server

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * msim-rpc-v1 client: one TCP connection to an msim-server. Shared
+ * by the msim-client CLI, the load-generator benchmark and the
+ * tests. call() covers single-response requests; sweep() drives a
+ * streamed sweep, invoking a callback per "sweep_cell" frame and
+ * returning the "sweep_done" summary (cells are reported back in
+ * registration order via CollectedSweep when the caller wants a
+ * full msim-sweep-v1 document).
+ */
+
+#ifndef MSIM_SERVER_CLIENT_HH
+#define MSIM_SERVER_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "server/json.hh"
+#include "server/protocol.hh"
+
+namespace msim::server {
+
+/** A connected msim-rpc-v1 client. */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+
+    /** Connect to host:port (FatalError on failure). */
+    void connect(const std::string &host, std::uint16_t port);
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /** Send one request document. */
+    void send(const json::Value &request);
+    /**
+     * Read the next response frame (parsed). Throws FatalError on
+     * EOF or malformed frames from the server.
+     */
+    json::Value recv();
+    /** send() + recv() for single-response requests. */
+    json::Value call(const json::Value &request);
+
+    /**
+     * Per-cell record of a streamed sweep: the raw msim-sweep-v1
+     * cell row (JSON text) plus its registration index.
+     */
+    struct StreamedCell
+    {
+        std::size_t index = 0;
+        /** Parsed cell row ("name", "ok", "cycles", …). */
+        json::Value cell;
+    };
+
+    /** Result of a sweep() call. */
+    struct SweepOutcome
+    {
+        /** The "sweep_done" summary frame. */
+        json::Value done;
+        /** Cells in registration order (index-sorted). */
+        std::vector<StreamedCell> cells;
+    };
+
+    /**
+     * Send a sweep request and consume the stream. @p onCell (may be
+     * null) sees every cell in completion order, as streamed; the
+     * returned outcome holds them sorted back into registration
+     * order. Throws FatalError when the server answers with an error
+     * frame instead of a stream.
+     */
+    SweepOutcome
+    sweep(const json::Value &request,
+          const std::function<void(const StreamedCell &)> &onCell =
+              nullptr);
+
+  private:
+    int fd_ = -1;
+};
+
+/** True when a parsed response frame is an "error" frame. */
+bool isErrorFrame(const json::Value &response);
+
+/** "code" of an error frame ("" when not an error frame). */
+std::string errorCode(const json::Value &response);
+
+} // namespace msim::server
+
+#endif // MSIM_SERVER_CLIENT_HH

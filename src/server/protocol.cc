@@ -1,0 +1,499 @@
+#include "server/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <set>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "trace/cycle_accounting.hh"
+
+namespace msim::server {
+
+const char *
+errCodeName(ErrCode code)
+{
+    switch (code) {
+      case ErrCode::kParseError: return "parse_error";
+      case ErrCode::kBadRequest: return "bad_request";
+      case ErrCode::kUnknownType: return "unknown_type";
+      case ErrCode::kUnknownWorkload: return "unknown_workload";
+      case ErrCode::kBudgetExhausted: return "budget_exhausted";
+      case ErrCode::kRunFailed: return "run_failed";
+      case ErrCode::kTimeout: return "timeout";
+      case ErrCode::kOverloaded: return "overloaded";
+      case ErrCode::kShuttingDown: return "shutting_down";
+      case ErrCode::kInternal: return "internal";
+    }
+    return "internal";
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Read exactly @p n bytes; returns bytes read (< n only on EOF). */
+std::size_t
+readFully(int fd, void *buf, std::size_t n)
+{
+    auto *p = static_cast<char *>(buf);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, p + got, n - got);
+        if (r == 0)
+            break;
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ProtocolError(ErrCode::kInternal,
+                                std::string("read failed: ") +
+                                    std::strerror(errno));
+        }
+        got += std::size_t(r);
+    }
+    return got;
+}
+
+} // namespace
+
+bool
+readFrame(int fd, std::string &payload)
+{
+    unsigned char hdr[4];
+    const std::size_t got = readFully(fd, hdr, sizeof(hdr));
+    if (got == 0)
+        return false; // clean EOF between frames
+    if (got < sizeof(hdr))
+        throw ProtocolError(ErrCode::kBadRequest,
+                            "truncated frame header");
+    const std::uint32_t len = (std::uint32_t(hdr[0]) << 24) |
+                              (std::uint32_t(hdr[1]) << 16) |
+                              (std::uint32_t(hdr[2]) << 8) |
+                              std::uint32_t(hdr[3]);
+    // Reject before allocating: the prefix is attacker-controlled.
+    if (len > kMaxFrameBytes)
+        throw ProtocolError(ErrCode::kBadRequest,
+                            "frame length " + std::to_string(len) +
+                                " exceeds the " +
+                                std::to_string(kMaxFrameBytes) +
+                                "-byte limit");
+    payload.resize(len);
+    if (len != 0 && readFully(fd, payload.data(), len) < len)
+        throw ProtocolError(ErrCode::kBadRequest,
+                            "truncated frame payload");
+    return true;
+}
+
+void
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        throw ProtocolError(ErrCode::kInternal,
+                            "response frame exceeds the frame limit");
+    const std::uint32_t len = std::uint32_t(payload.size());
+    std::string wire;
+    wire.reserve(4 + payload.size());
+    wire += char((len >> 24) & 0xFF);
+    wire += char((len >> 16) & 0xFF);
+    wire += char((len >> 8) & 0xFF);
+    wire += char(len & 0xFF);
+    wire += payload;
+
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        // MSG_NOSIGNAL: a vanished peer must surface as an error on
+        // this connection, not SIGPIPE for the whole daemon.
+        const ssize_t r = ::send(fd, wire.data() + sent,
+                                 wire.size() - sent, MSG_NOSIGNAL);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ProtocolError(ErrCode::kInternal,
+                                std::string("send failed: ") +
+                                    std::strerror(errno));
+        }
+        sent += std::size_t(r);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request parsing.
+// ---------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void
+badRequest(const std::string &msg)
+{
+    throw ProtocolError(ErrCode::kBadRequest, msg);
+}
+
+std::string
+requireString(const json::Value &obj, const char *field)
+{
+    const json::Value *v = obj.find(field);
+    if (v == nullptr || !v->isString())
+        badRequest(std::string("'") + field +
+                   "' must be a string and is required");
+    return v->asString();
+}
+
+bool
+optionalBool(const json::Value &obj, const char *field, bool dflt)
+{
+    const json::Value *v = obj.find(field);
+    if (v == nullptr)
+        return dflt;
+    if (!v->isBool())
+        badRequest(std::string("'") + field + "' must be a boolean");
+    return v->asBool();
+}
+
+std::uint64_t
+optionalUint(const json::Value &obj, const char *field,
+             std::uint64_t dflt, std::uint64_t min, std::uint64_t max)
+{
+    const json::Value *v = obj.find(field);
+    if (v == nullptr)
+        return dflt;
+    if (!v->isNumber() || v->asDouble() < 0 ||
+        double(v->asInt()) != v->asDouble())
+        badRequest(std::string("'") + field +
+                   "' must be a non-negative integer");
+    const std::uint64_t u = std::uint64_t(v->asInt());
+    if (u < min || u > max)
+        badRequest(std::string("'") + field + "' must be in [" +
+                   std::to_string(min) + ", " + std::to_string(max) +
+                   "]");
+    return u;
+}
+
+std::set<std::string>
+optionalDefines(const json::Value &obj)
+{
+    std::set<std::string> defines;
+    const json::Value *v = obj.find("defines");
+    if (v == nullptr)
+        return defines;
+    if (!v->isArray())
+        badRequest("'defines' must be an array of strings");
+    for (const json::Value &d : v->items()) {
+        if (!d.isString())
+            badRequest("'defines' must be an array of strings");
+        defines.insert(d.asString());
+    }
+    return defines;
+}
+
+} // namespace
+
+RunSpec
+specFromJson(const json::Value *spec)
+{
+    RunSpec out;
+    if (spec == nullptr)
+        return out;
+    if (!spec->isObject())
+        badRequest("'spec' must be an object");
+    for (const auto &[key, value] : spec->entries()) {
+        (void)value;
+        if (key == "multiscalar") {
+            out.multiscalar = optionalBool(*spec, "multiscalar", true);
+        } else if (key == "units") {
+            out.ms.numUnits = unsigned(
+                optionalUint(*spec, "units", 4, 1, 64));
+        } else if (key == "issue_width") {
+            const unsigned w = unsigned(
+                optionalUint(*spec, "issue_width", 1, 1, 16));
+            out.ms.pu.issueWidth = w;
+            out.scalar.pu.issueWidth = w;
+        } else if (key == "out_of_order") {
+            const bool ooo = optionalBool(*spec, "out_of_order", false);
+            out.ms.pu.outOfOrder = ooo;
+            out.scalar.pu.outOfOrder = ooo;
+        } else if (key == "ring_hop_latency") {
+            out.ms.ringHopLatency = unsigned(
+                optionalUint(*spec, "ring_hop_latency", 1, 0, 64));
+        } else if (key == "arb_entries_per_bank") {
+            out.ms.arbEntriesPerBank = unsigned(optionalUint(
+                *spec, "arb_entries_per_bank", 256, 1, 1u << 20));
+        } else if (key == "arb_full_policy") {
+            const std::string p =
+                requireString(*spec, "arb_full_policy");
+            if (p == "squash")
+                out.ms.arbFullPolicy = ArbFullPolicy::kSquash;
+            else if (p == "stall")
+                out.ms.arbFullPolicy = ArbFullPolicy::kStall;
+            else
+                badRequest("'arb_full_policy' must be \"squash\" or "
+                           "\"stall\"");
+        } else if (key == "predictor") {
+            const std::string p = requireString(*spec, "predictor");
+            if (p != "pas" && p != "last" && p != "static")
+                badRequest("'predictor' must be \"pas\", \"last\" or "
+                           "\"static\"");
+            out.ms.predictor = p;
+        } else if (key == "defines") {
+            out.defines = optionalDefines(*spec);
+        } else if (key == "max_cycles") {
+            out.maxCycles = optionalUint(*spec, "max_cycles",
+                                         out.maxCycles, 1,
+                                         std::uint64_t(1) << 62);
+        } else if (key == "check_output") {
+            out.checkOutput = optionalBool(*spec, "check_output", true);
+        } else if (key == "strict_annotations") {
+            out.strictAnnotations =
+                optionalBool(*spec, "strict_annotations", false);
+        } else {
+            // Typos must not silently run a default machine.
+            badRequest("unknown spec field '" + key + "'");
+        }
+    }
+    return out;
+}
+
+json::Value
+specToJson(const RunSpec &spec)
+{
+    const PuConfig &pu = spec.multiscalar ? spec.ms.pu
+                                          : spec.scalar.pu;
+    json::Value v = json::Value::object();
+    v.set("multiscalar", json::Value(spec.multiscalar));
+    if (spec.multiscalar) {
+        v.set("units", json::Value(spec.ms.numUnits));
+        v.set("ring_hop_latency", json::Value(spec.ms.ringHopLatency));
+        v.set("arb_entries_per_bank",
+              json::Value(spec.ms.arbEntriesPerBank));
+        v.set("arb_full_policy",
+              json::Value(spec.ms.arbFullPolicy ==
+                                  ArbFullPolicy::kSquash
+                              ? "squash"
+                              : "stall"));
+        v.set("predictor", json::Value(spec.ms.predictor));
+    }
+    v.set("issue_width", json::Value(pu.issueWidth));
+    v.set("out_of_order", json::Value(pu.outOfOrder));
+    if (!spec.defines.empty()) {
+        json::Value defs = json::Value::array();
+        for (const std::string &d : spec.defines)
+            defs.push(json::Value(d));
+        v.set("defines", std::move(defs));
+    }
+    v.set("max_cycles", json::Value(spec.maxCycles));
+    v.set("check_output", json::Value(spec.checkOutput));
+    if (spec.strictAnnotations)
+        v.set("strict_annotations", json::Value(true));
+    return v;
+}
+
+namespace {
+
+AssembleRequest
+parseAssemble(const json::Value &obj)
+{
+    AssembleRequest req;
+    req.workload = requireString(obj, "workload");
+    req.multiscalar = optionalBool(obj, "multiscalar", true);
+    req.defines = optionalDefines(obj);
+    req.scale = unsigned(optionalUint(obj, "scale", 1, 1, 10000));
+    return req;
+}
+
+RunRequest
+parseRun(const json::Value &obj)
+{
+    RunRequest req;
+    req.workload = requireString(obj, "workload");
+    req.scale = unsigned(optionalUint(obj, "scale", 1, 1, 10000));
+    req.spec = specFromJson(obj.find("spec"));
+    return req;
+}
+
+SweepRequest
+parseSweep(const json::Value &obj)
+{
+    SweepRequest req;
+    const json::Value *cells = obj.find("cells");
+    if (cells == nullptr || !cells->isArray())
+        badRequest("'cells' must be an array and is required");
+    if (cells->items().empty())
+        badRequest("'cells' must not be empty");
+    if (cells->items().size() > kMaxSweepCells)
+        badRequest("'cells' exceeds the " +
+                   std::to_string(kMaxSweepCells) + "-cell limit");
+    std::set<std::string> names;
+    for (const json::Value &c : cells->items()) {
+        if (!c.isObject())
+            badRequest("every sweep cell must be an object");
+        exp::Cell cell;
+        cell.name = requireString(c, "name");
+        if (!names.insert(cell.name).second)
+            badRequest("duplicate cell name '" + cell.name + "'");
+        cell.workload = requireString(c, "workload");
+        cell.scale = unsigned(optionalUint(c, "scale", 1, 1, 10000));
+        cell.spec = specFromJson(c.find("spec"));
+        req.cells.push_back(std::move(cell));
+    }
+    return req;
+}
+
+} // namespace
+
+Request
+parseRequest(const std::string &payload)
+{
+    json::Value doc;
+    try {
+        doc = json::Value::parse(payload);
+    } catch (const json::ParseError &e) {
+        throw ProtocolError(ErrCode::kParseError, e.what());
+    }
+    if (!doc.isObject())
+        badRequest("request must be a JSON object");
+
+    Request req;
+    if (const json::Value *id = doc.find("id")) {
+        if (!id->isNumber())
+            badRequest("'id' must be a number");
+        req.id = id->asInt();
+    }
+    req.timeoutMs = optionalUint(doc, "timeout_ms", 0, 0,
+                                 24ull * 3600 * 1000);
+
+    const std::string type = requireString(doc, "type");
+    if (type == "ping") {
+        req.kind = Request::Kind::Ping;
+    } else if (type == "stats") {
+        req.kind = Request::Kind::Stats;
+    } else if (type == "assemble") {
+        req.kind = Request::Kind::Assemble;
+        req.assemble = parseAssemble(doc);
+    } else if (type == "run") {
+        req.kind = Request::Kind::Run;
+        req.run = parseRun(doc);
+    } else if (type == "sweep") {
+        req.kind = Request::Kind::Sweep;
+        req.sweep = parseSweep(doc);
+    } else {
+        throw ProtocolError(ErrCode::kUnknownType,
+                            "unknown request type '" + type + "'");
+    }
+    return req;
+}
+
+// ---------------------------------------------------------------------
+// Builders.
+// ---------------------------------------------------------------------
+
+json::Value
+makeResponse(const char *type, std::int64_t id)
+{
+    json::Value v = json::Value::object();
+    v.set("rpc", json::Value(kRpcVersion));
+    v.set("type", json::Value(type));
+    v.set("id", json::Value(id));
+    return v;
+}
+
+std::string
+errorFrame(std::int64_t id, ErrCode code, const std::string &message,
+           const json::Value *extra)
+{
+    json::Value v = makeResponse("error", id);
+    v.set("code", json::Value(errCodeName(code)));
+    v.set("message", json::Value(message));
+    if (extra != nullptr && extra->isObject())
+        for (const auto &[k, field] : extra->entries())
+            v.set(k, field);
+    return v.dump();
+}
+
+json::Value
+resultToJson(const RunResult &r)
+{
+    json::Value v = json::Value::object();
+    v.set("cycles", json::Value(r.cycles));
+    v.set("instructions", json::Value(r.instructions));
+    v.set("squashed_instructions",
+          json::Value(r.squashedInstructions));
+    v.set("ipc", json::Value(r.ipc()));
+    v.set("exited", json::Value(r.exited));
+    v.set("fast_forwarded_cycles",
+          json::Value(r.fastForwardedCycles));
+    v.set("tasks_retired", json::Value(r.tasksRetired));
+    v.set("tasks_squashed", json::Value(r.tasksSquashed));
+    v.set("task_predictions", json::Value(r.taskPredictions));
+    v.set("task_pred_hits", json::Value(r.taskPredHits));
+    v.set("pred_accuracy", json::Value(r.predAccuracy()));
+    v.set("control_squashes", json::Value(r.controlSquashes));
+    v.set("memory_squashes", json::Value(r.memorySquashes));
+    v.set("arb_full_squashes", json::Value(r.arbFullSquashes));
+    json::Value acct = json::Value::object();
+    for (std::size_t i = 0; i < kNumCycleCats; ++i)
+        acct.set(cycleCatName(CycleCat(i)),
+                 json::Value(r.accounting[CycleCat(i)]));
+    v.set("accounting", std::move(acct));
+    v.set("output", json::Value(r.output));
+    return v;
+}
+
+json::Value
+makeRunRequest(const std::string &workload, const RunSpec &spec,
+               unsigned scale, std::int64_t id,
+               std::uint64_t timeoutMs)
+{
+    json::Value v = json::Value::object();
+    v.set("type", json::Value("run"));
+    v.set("id", json::Value(id));
+    if (timeoutMs != 0)
+        v.set("timeout_ms", json::Value(timeoutMs));
+    v.set("workload", json::Value(workload));
+    v.set("scale", json::Value(scale));
+    v.set("spec", specToJson(spec));
+    return v;
+}
+
+json::Value
+makeAssembleRequest(const AssembleRequest &req, std::int64_t id)
+{
+    json::Value v = json::Value::object();
+    v.set("type", json::Value("assemble"));
+    v.set("id", json::Value(id));
+    v.set("workload", json::Value(req.workload));
+    v.set("multiscalar", json::Value(req.multiscalar));
+    if (!req.defines.empty()) {
+        json::Value defs = json::Value::array();
+        for (const std::string &d : req.defines)
+            defs.push(json::Value(d));
+        v.set("defines", std::move(defs));
+    }
+    v.set("scale", json::Value(req.scale));
+    return v;
+}
+
+json::Value
+makeSweepRequest(const std::vector<exp::Cell> &cells, std::int64_t id,
+                 std::uint64_t timeoutMs)
+{
+    json::Value v = json::Value::object();
+    v.set("type", json::Value("sweep"));
+    v.set("id", json::Value(id));
+    if (timeoutMs != 0)
+        v.set("timeout_ms", json::Value(timeoutMs));
+    json::Value arr = json::Value::array();
+    for (const exp::Cell &c : cells) {
+        json::Value cell = json::Value::object();
+        cell.set("name", json::Value(c.name));
+        cell.set("workload", json::Value(c.workload));
+        cell.set("scale", json::Value(c.scale));
+        cell.set("spec", specToJson(c.spec));
+        arr.push(std::move(cell));
+    }
+    v.set("cells", std::move(arr));
+    return v;
+}
+
+} // namespace msim::server

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * msim-rpc-v1: the wire protocol of msim-server.
+ *
+ * Framing: every message is a 4-byte big-endian payload length
+ * followed by that many bytes of UTF-8 JSON. Frames above
+ * kMaxFrameBytes are rejected before any allocation and the
+ * connection is dropped (an attacker-controlled length prefix must
+ * never size a buffer).
+ *
+ * Requests are JSON objects with a "type" field — "ping", "stats",
+ * "assemble", "run" or "sweep" — an optional numeric "id" echoed in
+ * every response frame, and type-specific fields documented in
+ * DESIGN.md ("msim-server" section). Responses are single frames,
+ * except sweeps, which stream one "sweep_cell" frame per cell as it
+ * completes (carrying the exact msim-sweep-v1 cell row) and end with
+ * a "sweep_done" summary frame.
+ *
+ * Every failure is a structured "error" frame with a stable "code"
+ * from ErrCode; `budget_exhausted` errors additionally carry
+ * "cycles_consumed" and "budget" so clients can retry with a larger
+ * cycle budget.
+ */
+
+#ifndef MSIM_SERVER_PROTOCOL_HH
+#define MSIM_SERVER_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+#include "server/json.hh"
+#include "sim/runner.hh"
+
+namespace msim::server {
+
+/** Protocol identifier, echoed in every response frame. */
+inline constexpr const char *kRpcVersion = "msim-rpc-v1";
+
+/** Hard cap on a frame payload (4 MiB requests are already absurd). */
+inline constexpr std::uint32_t kMaxFrameBytes = 4u << 20;
+
+/** Hard cap on cells in one sweep request. */
+inline constexpr std::size_t kMaxSweepCells = 4096;
+
+/** Stable error codes of msim-rpc-v1 error frames. */
+enum class ErrCode
+{
+    kParseError,       //!< frame payload is not valid JSON
+    kBadRequest,       //!< JSON is valid but violates the schema
+    kUnknownType,      //!< unrecognized request "type"
+    kUnknownWorkload,  //!< workload name not in the registry
+    kBudgetExhausted,  //!< run hit its cycle budget (hitMaxCycles)
+    kRunFailed,        //!< simulation failed (bad output, assembler…)
+    kTimeout,          //!< wall-clock deadline exceeded
+    kOverloaded,       //!< admission queue full, request shed
+    kShuttingDown,     //!< server is draining, try another instance
+    kInternal,         //!< unexpected server-side error
+};
+
+/** Wire name of an error code (e.g. "budget_exhausted"). */
+const char *errCodeName(ErrCode code);
+
+/** A protocol-level failure: maps to one error frame. */
+class ProtocolError : public std::runtime_error
+{
+  public:
+    ProtocolError(ErrCode code, const std::string &message)
+        : std::runtime_error(message), code(code)
+    {
+    }
+
+    ProtocolError(ErrCode code, const std::string &message,
+                  json::Value extraFields)
+        : std::runtime_error(message), code(code),
+          extra(std::move(extraFields))
+    {
+    }
+
+    ErrCode code;
+    /** Extra top-level fields merged into the error frame (object). */
+    json::Value extra;
+};
+
+// ---------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------
+
+/**
+ * Read one length-prefixed frame from @p fd into @p payload.
+ * @return false on clean EOF before any byte of a frame; throws
+ * ProtocolError on truncated frames, read errors, or a length prefix
+ * above kMaxFrameBytes.
+ */
+bool readFrame(int fd, std::string &payload);
+
+/** Write one frame (4-byte big-endian length + payload). Throws
+ *  ProtocolError(kInternal) on write errors / closed peers. */
+void writeFrame(int fd, const std::string &payload);
+
+// ---------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------
+
+/** Parsed "assemble" request. */
+struct AssembleRequest
+{
+    std::string workload;
+    bool multiscalar = true;
+    std::set<std::string> defines;
+    unsigned scale = 1;
+};
+
+/** Parsed "run" request (a single cell without a name). */
+struct RunRequest
+{
+    std::string workload;
+    unsigned scale = 1;
+    RunSpec spec;
+};
+
+/** Parsed "sweep" request. */
+struct SweepRequest
+{
+    std::vector<exp::Cell> cells;
+};
+
+/** Any parsed request. */
+struct Request
+{
+    enum class Kind { Ping, Stats, Assemble, Run, Sweep };
+
+    Kind kind = Kind::Ping;
+    /** Client-chosen id echoed in responses (0 when absent). */
+    std::int64_t id = 0;
+    /** Wall-clock deadline for this request, ms (0 = server default). */
+    std::uint64_t timeoutMs = 0;
+
+    AssembleRequest assemble;
+    RunRequest run;
+    SweepRequest sweep;
+};
+
+/**
+ * Parse and validate one request payload. Throws ProtocolError with
+ * kParseError / kBadRequest / kUnknownType on anything malformed;
+ * never crashes on attacker-controlled input (fuzzed in
+ * tests/test_server.cc).
+ */
+Request parseRequest(const std::string &payload);
+
+/**
+ * Build a RunSpec from a request's "spec" object (nullptr = all
+ * defaults). Understands: multiscalar, units, issue_width,
+ * out_of_order, ring_hop_latency, arb_entries_per_bank,
+ * arb_full_policy ("squash"/"stall"), predictor, defines, max_cycles,
+ * check_output. Unknown spec fields are a kBadRequest error (typos
+ * must not silently run a default machine).
+ */
+RunSpec specFromJson(const json::Value *spec);
+
+/** Serialize a RunSpec into the "spec" object schema above. */
+json::Value specToJson(const RunSpec &spec);
+
+// ---------------------------------------------------------------------
+// Response builders (server side) and request builders (client side).
+// ---------------------------------------------------------------------
+
+/** Common response envelope: {"rpc", "type", "id"}. */
+json::Value makeResponse(const char *type, std::int64_t id);
+
+/** Build an error frame payload. */
+std::string errorFrame(std::int64_t id, ErrCode code,
+                       const std::string &message,
+                       const json::Value *extra = nullptr);
+
+/** Serialize a RunResult (headline counters + accounting + output). */
+json::Value resultToJson(const RunResult &result);
+
+/** Build the JSON for a "run" request. */
+json::Value makeRunRequest(const std::string &workload,
+                           const RunSpec &spec, unsigned scale = 1,
+                           std::int64_t id = 0,
+                           std::uint64_t timeoutMs = 0);
+
+/** Build the JSON for an "assemble" request. */
+json::Value makeAssembleRequest(const AssembleRequest &req,
+                                std::int64_t id = 0);
+
+/** Build the JSON for a "sweep" request over @p cells. */
+json::Value makeSweepRequest(const std::vector<exp::Cell> &cells,
+                             std::int64_t id = 0,
+                             std::uint64_t timeoutMs = 0);
+
+} // namespace msim::server
+
+#endif // MSIM_SERVER_PROTOCOL_HH

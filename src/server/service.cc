@@ -1,0 +1,388 @@
+#include "server/service.hh"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <sstream>
+
+#include "exp/report.hh"
+#include "exp/scheduler.hh"
+#include "workloads/workload.hh"
+
+namespace msim::server {
+
+namespace {
+
+double
+secondsSince(SimService::Clock::time_point t0)
+{
+    return std::chrono::duration<double>(SimService::Clock::now() - t0)
+        .count();
+}
+
+std::string
+programKey(const CompiledWorkload &cw)
+{
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  (unsigned long long)cw.contentHash);
+    return cw.workload.name + "@" + hex;
+}
+
+/** One streamed sweep cell: the exact msim-sweep-v1 cell row. */
+std::string
+cellFrame(std::int64_t id, std::size_t index,
+          const exp::CellResult &cell)
+{
+    std::ostringstream os;
+    os << "{\"rpc\":\"" << kRpcVersion
+       << "\",\"type\":\"sweep_cell\",\"id\":" << id
+       << ",\"index\":" << index << ",\"cell\":\n";
+    exp::writeJsonCell(os, cell, "");
+    os << "}";
+    return os.str();
+}
+
+} // namespace
+
+SimService::SimService(const ServiceConfig &config)
+    : config_(config),
+      pool_(config.jobs == 0 ? exp::SweepScheduler::defaultJobs()
+                             : config.jobs,
+            config.queueCapacity)
+{
+}
+
+SimService::Clock::time_point
+SimService::deadlineFor(const Request &req) const
+{
+    const std::uint64_t ms =
+        req.timeoutMs != 0 ? req.timeoutMs : config_.defaultTimeoutMs;
+    if (ms == 0)
+        return Clock::time_point::max();
+    return Clock::now() + std::chrono::milliseconds(ms);
+}
+
+json::Value
+SimService::statsJson() const
+{
+    json::Value v = stats_.toJson();
+    json::Value queue = json::Value::object();
+    queue.set("capacity", json::Value(pool_.queueCapacity()));
+    queue.set("depth", json::Value(pool_.queued()));
+    v.set("queue", std::move(queue));
+    v.set("workers", json::Value(pool_.threads()));
+    json::Value cache = json::Value::object();
+    cache.set("hits", json::Value(cache_.hits()));
+    cache.set("misses", json::Value(cache_.misses()));
+    cache.set("entries", json::Value(cache_.size()));
+    v.set("program_cache", std::move(cache));
+    return v;
+}
+
+std::string
+SimService::handlePayload(const std::string &payload, const Emit &emit)
+{
+    Request req;
+    try {
+        req = parseRequest(payload);
+    } catch (const ProtocolError &e) {
+        ++stats_.responsesError;
+        return errorFrame(0, e.code, e.what(), &e.extra);
+    }
+    return handle(req, emit);
+}
+
+std::string
+SimService::handle(const Request &req, const Emit &emit)
+{
+    switch (req.kind) {
+      case Request::Kind::Ping:
+        ++stats_.requestsPing;
+        ++stats_.responsesOk;
+        return makeResponse("pong", req.id).dump();
+      case Request::Kind::Stats: {
+        ++stats_.requestsStats;
+        ++stats_.responsesOk;
+        json::Value v = makeResponse("stats", req.id);
+        v.set("stats", statsJson());
+        return v.dump();
+      }
+      case Request::Kind::Assemble:
+        ++stats_.requestsAssemble;
+        return handleAssemble(req);
+      case Request::Kind::Run:
+        ++stats_.requestsRun;
+        return handleRun(req);
+      case Request::Kind::Sweep:
+        ++stats_.requestsSweep;
+        return handleSweep(req, emit);
+    }
+    ++stats_.responsesError;
+    return errorFrame(req.id, ErrCode::kInternal,
+                      "unhandled request kind");
+}
+
+namespace {
+
+/** Error payload builders shared by the handlers below. */
+std::string
+errorPayload(ServerStats &stats, std::int64_t id, ErrCode code,
+             const std::string &message,
+             const json::Value *extra = nullptr)
+{
+    ++stats.responsesError;
+    return errorFrame(id, code, message, extra);
+}
+
+} // namespace
+
+std::string
+SimService::handleAssemble(const Request &req)
+{
+    const AssembleRequest a = req.assemble;
+    const std::int64_t id = req.id;
+    auto result = std::make_shared<std::promise<std::string>>();
+    std::future<std::string> future = result->get_future();
+
+    auto job = [this, a, id, result] {
+        std::string payload;
+        try {
+            if (workloads::registry().count(a.workload) == 0) {
+                payload = errorPayload(stats_, id,
+                                       ErrCode::kUnknownWorkload,
+                                       "unknown workload '" +
+                                           a.workload + "'");
+            } else {
+                const bool cached = cache_.contains(
+                    a.workload, a.multiscalar, a.defines, a.scale);
+                auto compiled = cache_.get(a.workload, a.multiscalar,
+                                           a.defines, a.scale);
+                json::Value v = makeResponse("assemble_result", id);
+                v.set("workload", json::Value(a.workload));
+                v.set("multiscalar", json::Value(a.multiscalar));
+                v.set("scale", json::Value(a.scale));
+                v.set("program_key", json::Value(programKey(*compiled)));
+                v.set("cached", json::Value(cached));
+                v.set("instructions",
+                      json::Value(compiled->program.code.size()));
+                v.set("tasks",
+                      json::Value(compiled->program.tasks.size()));
+                v.set("text_bytes",
+                      json::Value(compiled->program.textBytes.size()));
+                ++stats_.responsesOk;
+                payload = v.dump();
+            }
+        } catch (const FatalError &e) {
+            payload = errorPayload(stats_, id, ErrCode::kRunFailed,
+                                   e.what());
+        } catch (const std::exception &e) {
+            payload = errorPayload(stats_, id, ErrCode::kInternal,
+                                   e.what());
+        }
+        result->set_value(std::move(payload));
+    };
+
+    if (!pool_.tryEnqueue(std::move(job))) {
+        ++stats_.shedOverload;
+        return errorPayload(
+            stats_, id, ErrCode::kOverloaded,
+            "admission queue full (capacity " +
+                std::to_string(pool_.queueCapacity()) + "), retry");
+    }
+    return awaitPayload(std::move(future), deadlineFor(req), id);
+}
+
+std::string
+SimService::handleRun(const Request &req)
+{
+    const RunRequest rr = req.run;
+    const std::int64_t id = req.id;
+    const Clock::time_point deadline = deadlineFor(req);
+    auto result = std::make_shared<std::promise<std::string>>();
+    std::future<std::string> future = result->get_future();
+
+    auto job = [this, rr, id, deadline, result] {
+        std::string payload;
+        try {
+            if (deadline != Clock::time_point::max() &&
+                Clock::now() > deadline) {
+                // Doomed before it started (queue wait ate the
+                // deadline): skip the simulation, the waiter answers.
+                ++stats_.responsesError;
+                payload = errorFrame(id, ErrCode::kTimeout,
+                                     "deadline exceeded while queued");
+            } else if (workloads::registry().count(rr.workload) == 0) {
+                payload = errorPayload(stats_, id,
+                                       ErrCode::kUnknownWorkload,
+                                       "unknown workload '" +
+                                           rr.workload + "'");
+            } else {
+                RunSpec spec = rr.spec;
+                spec.maxCycles = std::min(
+                    spec.maxCycles, config_.maxCyclesPerRequest);
+                auto compiled =
+                    cache_.get(rr.workload, spec.multiscalar,
+                               spec.defines, rr.scale);
+                const RunResult r = runCompiled(*compiled, spec);
+                json::Value v = makeResponse("run_result", id);
+                v.set("workload", json::Value(rr.workload));
+                v.set("scale", json::Value(rr.scale));
+                v.set("program_key", json::Value(programKey(*compiled)));
+                v.set("result", resultToJson(r));
+                ++stats_.responsesOk;
+                payload = v.dump();
+            }
+        } catch (const BudgetExhaustedError &e) {
+            ++stats_.budgetExhausted;
+            json::Value extra = json::Value::object();
+            extra.set("cycles_consumed",
+                      json::Value(e.cyclesConsumed));
+            extra.set("budget", json::Value(e.budget));
+            payload = errorPayload(stats_, id,
+                                   ErrCode::kBudgetExhausted, e.what(),
+                                   &extra);
+        } catch (const FatalError &e) {
+            payload = errorPayload(stats_, id, ErrCode::kRunFailed,
+                                   e.what());
+        } catch (const std::exception &e) {
+            payload = errorPayload(stats_, id, ErrCode::kInternal,
+                                   e.what());
+        }
+        result->set_value(std::move(payload));
+    };
+
+    if (!pool_.tryEnqueue(std::move(job))) {
+        ++stats_.shedOverload;
+        return errorPayload(
+            stats_, id, ErrCode::kOverloaded,
+            "admission queue full (capacity " +
+                std::to_string(pool_.queueCapacity()) + "), retry");
+    }
+    return awaitPayload(std::move(future), deadline, id);
+}
+
+std::string
+SimService::awaitPayload(std::future<std::string> future,
+                         Clock::time_point deadline, std::int64_t id)
+{
+    if (deadline == Clock::time_point::max()) {
+        return future.get();
+    }
+    if (future.wait_until(deadline) == std::future_status::ready)
+        return future.get();
+    // The job keeps running (simulation sessions cannot be aborted
+    // mid-run) but its result is discarded; the client hears now.
+    ++stats_.timeouts;
+    return errorPayload(stats_, id, ErrCode::kTimeout,
+                        "wall-clock deadline exceeded");
+}
+
+exp::CellResult
+SimService::runCell(const exp::Cell &cell, Clock::time_point deadline)
+{
+    exp::CellResult out;
+    out.name = cell.name;
+    out.workload = cell.workload;
+    const auto t0 = Clock::now();
+    try {
+        if (deadline != Clock::time_point::max() &&
+            Clock::now() > deadline) {
+            ++stats_.timeouts;
+            out.error = "timeout: wall-clock deadline exceeded "
+                        "before the cell started";
+        } else {
+            RunSpec spec = cell.spec;
+            spec.maxCycles =
+                std::min(spec.maxCycles, config_.maxCyclesPerRequest);
+            auto compiled = cache_.get(cell.workload, spec.multiscalar,
+                                       spec.defines, cell.scale);
+            out.result = runCompiled(*compiled, spec);
+            out.ok = true;
+        }
+    } catch (const BudgetExhaustedError &e) {
+        ++stats_.budgetExhausted;
+        out.error = e.what();
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    } catch (...) {
+        out.error = "unknown exception";
+    }
+    out.wallSeconds = secondsSince(t0);
+    return out;
+}
+
+std::string
+SimService::handleSweep(const Request &req, const Emit &emit)
+{
+    const std::int64_t id = req.id;
+    const std::vector<exp::Cell> &cells = req.sweep.cells;
+    const Clock::time_point deadline = deadlineFor(req);
+
+    struct Channel
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        std::deque<std::pair<std::size_t, exp::CellResult>> done;
+    };
+    auto ch = std::make_shared<Channel>();
+
+    const std::uint64_t hits0 = cache_.hits();
+    const std::uint64_t misses0 = cache_.misses();
+    const auto t0 = Clock::now();
+
+    std::vector<WorkerPool::Job> jobs;
+    jobs.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        jobs.push_back([this, ch, cell = cells[i], deadline, i] {
+            exp::CellResult out = runCell(cell, deadline);
+            {
+                std::lock_guard<std::mutex> lock(ch->m);
+                ch->done.emplace_back(i, std::move(out));
+            }
+            ch->cv.notify_one();
+        });
+    }
+    if (!pool_.tryEnqueueAll(std::move(jobs))) {
+        ++stats_.shedOverload;
+        return errorPayload(
+            stats_, id, ErrCode::kOverloaded,
+            "admission queue cannot hold " +
+                std::to_string(cells.size()) + " cells (capacity " +
+                std::to_string(pool_.queueCapacity()) + "), retry");
+    }
+
+    // Stream cells in completion order; "index" lets the client
+    // restore registration order for a full msim-sweep-v1 report.
+    std::size_t received = 0, failed = 0;
+    while (received < cells.size()) {
+        std::pair<std::size_t, exp::CellResult> item;
+        {
+            std::unique_lock<std::mutex> lock(ch->m);
+            ch->cv.wait(lock, [&] { return !ch->done.empty(); });
+            item = std::move(ch->done.front());
+            ch->done.pop_front();
+        }
+        ++received;
+        if (!item.second.ok)
+            ++failed;
+        ++stats_.cellsStreamed;
+        emit(cellFrame(id, item.first, item.second));
+    }
+
+    json::Value v = makeResponse("sweep_done", id);
+    v.set("cells_total", json::Value(cells.size()));
+    v.set("cells_failed", json::Value(failed));
+    v.set("wall_seconds", json::Value(secondsSince(t0)));
+    json::Value cache = json::Value::object();
+    cache.set("hits", json::Value(cache_.hits() - hits0));
+    cache.set("misses", json::Value(cache_.misses() - misses0));
+    v.set("program_cache", std::move(cache));
+    ++stats_.responsesOk;
+    return v.dump();
+}
+
+} // namespace msim::server

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The simulation service: protocol requests in, response frames out,
+ * no sockets. SimService owns the shared ProgramCache (so every
+ * connection benefits from every other connection's compilations —
+ * content-addressed, one assembly per distinct source/mode/defines/
+ * scale point), the bounded WorkerPool that all simulation work is
+ * sharded onto, and the daemon's counters.
+ *
+ * Execution model per request kind:
+ *  - ping/stats answer inline on the connection thread;
+ *  - assemble/run become one pool job; the connection thread waits
+ *    for the job's payload, bounded by the request's wall-clock
+ *    deadline (an expired wait answers `timeout` and the job's late
+ *    result is discarded; a job that starts after the deadline skips
+ *    the simulation entirely);
+ *  - sweep becomes one pool job per cell, admitted all-or-nothing;
+ *    cell results stream back through @p emit in completion order,
+ *    each as an exact msim-sweep-v1 cell row, followed by a
+ *    "sweep_done" summary.
+ *
+ * When the pool cannot admit a request's jobs the request is shed
+ * with an `overloaded` error immediately — the admission queue never
+ * blocks a connection thread.
+ *
+ * Budget semantics: a request's spec.max_cycles is clamped to the
+ * server-wide maxCyclesPerRequest cap; a run that exhausts it answers
+ * the distinct `budget_exhausted` error carrying cycles_consumed and
+ * budget (from sim/runner's BudgetExhaustedError) so clients can
+ * retry with a larger budget.
+ */
+
+#ifndef MSIM_SERVER_SERVICE_HH
+#define MSIM_SERVER_SERVICE_HH
+
+#include <chrono>
+#include <functional>
+#include <future>
+#include <string>
+
+#include "exp/experiment.hh"
+#include "exp/scheduler.hh"
+#include "server/protocol.hh"
+#include "server/stats.hh"
+#include "server/worker_pool.hh"
+#include "sim/compiled_workload.hh"
+
+namespace msim::server {
+
+/** Tunables shared by the daemon, the bench and the tests. */
+struct ServiceConfig
+{
+    /** Worker threads (0 = MSIM_JOBS / hardware concurrency). */
+    unsigned jobs = 0;
+    /** Bounded admission queue capacity (jobs, not requests). */
+    std::size_t queueCapacity = 256;
+    /** Server-wide cap on any request's cycle budget. */
+    Cycle maxCyclesPerRequest = 1'000'000'000;
+    /** Default wall-clock deadline, ms (0 = none). */
+    std::uint64_t defaultTimeoutMs = 0;
+};
+
+/** The socket-free core of msim-server. */
+class SimService
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+    /** Sink for streamed frames (sweep cells). */
+    using Emit = std::function<void(const std::string &)>;
+
+    explicit SimService(const ServiceConfig &config);
+
+    /**
+     * Execute one parsed request and return the final response
+     * payload. Sweeps additionally push one "sweep_cell" frame per
+     * cell through @p emit as cells complete (emit runs on the
+     * calling thread; an exception from emit aborts the streaming
+     * and propagates, but already-admitted cells still run).
+     * Never throws for simulation-level failures — those become
+     * structured error payloads.
+     */
+    std::string handle(const Request &request, const Emit &emit);
+
+    /** Parse + handle one raw payload (error frames on bad input). */
+    std::string handlePayload(const std::string &payload,
+                              const Emit &emit);
+
+    ServerStats &stats() { return stats_; }
+    ProgramCache &cache() { return cache_; }
+    WorkerPool &pool() { return pool_; }
+    const ServiceConfig &config() const { return config_; }
+
+    /** Stop admitting and run the queue dry (graceful shutdown). */
+    void drain() { pool_.drain(); }
+
+    /** Full stats snapshot (counters + cache + queue). */
+    json::Value statsJson() const;
+
+  private:
+    std::string handleAssemble(const Request &req);
+    std::string handleRun(const Request &req);
+    std::string handleSweep(const Request &req, const Emit &emit);
+
+    /** One sweep cell (SweepScheduler's runOne, plus budget clamp). */
+    exp::CellResult runCell(const exp::Cell &cell,
+                            Clock::time_point deadline);
+
+    /**
+     * Wait for a job's payload, bounded by @p deadline; a timed-out
+     * wait answers `timeout` and discards the job's late result.
+     */
+    std::string awaitPayload(std::future<std::string> future,
+                             Clock::time_point deadline,
+                             std::int64_t id);
+
+    /** Deadline for a request; Clock::time_point::max() = none. */
+    Clock::time_point deadlineFor(const Request &req) const;
+
+    ServiceConfig config_;
+    ServerStats stats_;
+    ProgramCache cache_;
+    WorkerPool pool_;
+};
+
+} // namespace msim::server
+
+#endif // MSIM_SERVER_SERVICE_HH

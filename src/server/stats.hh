@@ -1,0 +1,83 @@
+/**
+ * @file
+ * msim-server counters. Plain relaxed atomics bumped from worker and
+ * connection threads; snapshot via toJson for the "stats" request and
+ * the load-generator benchmark (cache hit-rate, shed count, …).
+ */
+
+#ifndef MSIM_SERVER_STATS_HH
+#define MSIM_SERVER_STATS_HH
+
+#include <atomic>
+#include <cstdint>
+
+#include "server/json.hh"
+
+namespace msim::server {
+
+/** One daemon-lifetime set of counters. */
+struct ServerStats
+{
+    std::atomic<std::uint64_t> connectionsAccepted{0};
+    std::atomic<std::uint64_t> connectionsRejected{0};
+
+    std::atomic<std::uint64_t> requestsPing{0};
+    std::atomic<std::uint64_t> requestsStats{0};
+    std::atomic<std::uint64_t> requestsAssemble{0};
+    std::atomic<std::uint64_t> requestsRun{0};
+    std::atomic<std::uint64_t> requestsSweep{0};
+
+    std::atomic<std::uint64_t> responsesOk{0};
+    std::atomic<std::uint64_t> responsesError{0};
+
+    /** Requests refused because the admission queue was full. */
+    std::atomic<std::uint64_t> shedOverload{0};
+    /** Requests cut off by their wall-clock deadline. */
+    std::atomic<std::uint64_t> timeouts{0};
+    /** Runs that exhausted their cycle budget (hitMaxCycles). */
+    std::atomic<std::uint64_t> budgetExhausted{0};
+    /** Requests refused because the server was shutting down. */
+    std::atomic<std::uint64_t> shedShutdown{0};
+    /** Sweep cell rows streamed to clients. */
+    std::atomic<std::uint64_t> cellsStreamed{0};
+
+    std::uint64_t
+    requestsTotal() const
+    {
+        return requestsPing + requestsStats + requestsAssemble +
+               requestsRun + requestsSweep;
+    }
+
+    /** Snapshot as the body of a "stats" response. */
+    json::Value
+    toJson() const
+    {
+        json::Value v = json::Value::object();
+        json::Value conns = json::Value::object();
+        conns.set("accepted", json::Value(connectionsAccepted.load()));
+        conns.set("rejected", json::Value(connectionsRejected.load()));
+        v.set("connections", std::move(conns));
+        json::Value reqs = json::Value::object();
+        reqs.set("ping", json::Value(requestsPing.load()));
+        reqs.set("stats", json::Value(requestsStats.load()));
+        reqs.set("assemble", json::Value(requestsAssemble.load()));
+        reqs.set("run", json::Value(requestsRun.load()));
+        reqs.set("sweep", json::Value(requestsSweep.load()));
+        reqs.set("total", json::Value(requestsTotal()));
+        v.set("requests", std::move(reqs));
+        json::Value resp = json::Value::object();
+        resp.set("ok", json::Value(responsesOk.load()));
+        resp.set("error", json::Value(responsesError.load()));
+        v.set("responses", std::move(resp));
+        v.set("shed_overload", json::Value(shedOverload.load()));
+        v.set("shed_shutdown", json::Value(shedShutdown.load()));
+        v.set("timeouts", json::Value(timeouts.load()));
+        v.set("budget_exhausted", json::Value(budgetExhausted.load()));
+        v.set("cells_streamed", json::Value(cellsStreamed.load()));
+        return v;
+    }
+};
+
+} // namespace msim::server
+
+#endif // MSIM_SERVER_STATS_HH

@@ -1,0 +1,92 @@
+#include "server/worker_pool.hh"
+
+#include "common/logging.hh"
+
+namespace msim::server {
+
+WorkerPool::WorkerPool(unsigned threads, std::size_t queueCapacity)
+    : capacity_(queueCapacity)
+{
+    fatalIf(threads == 0, "WorkerPool needs at least one thread");
+    fatalIf(queueCapacity == 0,
+            "WorkerPool needs a non-empty admission queue");
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    drain();
+}
+
+bool
+WorkerPool::tryEnqueue(Job job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (draining_ || queue_.size() >= capacity_)
+            return false;
+        queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+    return true;
+}
+
+bool
+WorkerPool::tryEnqueueAll(std::vector<Job> jobs)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (draining_ || queue_.size() + jobs.size() > capacity_)
+            return false;
+        for (Job &j : jobs)
+            queue_.push_back(std::move(j));
+    }
+    cv_.notify_all();
+    return true;
+}
+
+void
+WorkerPool::drain()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (draining_ && workers_.empty())
+            return;
+        draining_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+    workers_.clear();
+}
+
+std::size_t
+WorkerPool::queued() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+void
+WorkerPool::workerLoop()
+{
+    while (true) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] {
+                return draining_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // draining and dry
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job(); // jobs capture their own error handling
+    }
+}
+
+} // namespace msim::server

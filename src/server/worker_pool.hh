@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The server's fixed worker pool with a bounded admission queue.
+ *
+ * Follows the SweepScheduler threading model (src/exp): plain
+ * std::thread workers pulling jobs under one mutex, with simulation
+ * work itself stateless and re-entrant. The differences are that the
+ * pool is long-lived (one pool for the daemon's whole life, shared by
+ * every connection) and that admission is bounded: tryEnqueue /
+ * tryEnqueueAll refuse work when the queue is full instead of
+ * growing it, which is what lets the server shed load with an
+ * explicit `overloaded` error rather than stalling every client.
+ *
+ * drain() supports graceful shutdown: stop admitting, run the queue
+ * dry, join the workers.
+ */
+
+#ifndef MSIM_SERVER_WORKER_POOL_HH
+#define MSIM_SERVER_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msim::server {
+
+/** Fixed-size thread pool with a bounded FIFO admission queue. */
+class WorkerPool
+{
+  public:
+    using Job = std::function<void()>;
+
+    /**
+     * @param threads worker threads (>= 1).
+     * @param queueCapacity max queued (not yet running) jobs.
+     */
+    WorkerPool(unsigned threads, std::size_t queueCapacity);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Admit one job. @return false (shedding load) when the queue is
+     * full or the pool is draining.
+     */
+    bool tryEnqueue(Job job);
+
+    /**
+     * Admit @p jobs all-or-nothing: either every job fits in the
+     * remaining queue capacity or none is admitted. Keeps a sweep
+     * from being half-shed.
+     */
+    bool tryEnqueueAll(std::vector<Job> jobs);
+
+    /** Stop admitting, run every queued job, join the workers. */
+    void drain();
+
+    unsigned threads() const { return unsigned(workers_.size()); }
+    std::size_t queueCapacity() const { return capacity_; }
+    /** Queued (not yet running) jobs right now. */
+    std::size_t queued() const;
+
+  private:
+    void workerLoop();
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Job> queue_;
+    bool draining_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace msim::server
+
+#endif // MSIM_SERVER_WORKER_POOL_HH

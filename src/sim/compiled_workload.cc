@@ -1,9 +1,48 @@
 #include "sim/compiled_workload.hh"
 
+#include <cstdio>
+
 #include "asm/assembler.hh"
 #include "common/logging.hh"
 
 namespace msim {
+
+namespace {
+
+/** FNV-1a 64-bit over a byte range. */
+std::uint64_t
+fnv1a(std::uint64_t h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1a(std::uint64_t h, const std::string &s)
+{
+    // Hash the terminator too, so concatenated fields cannot alias
+    // ("ab" + "c" vs "a" + "bc").
+    return fnv1a(fnv1a(h, s.data(), s.size()), "\0", 1);
+}
+
+} // namespace
+
+std::uint64_t
+workloadContentHash(const workloads::Workload &workload, bool multiscalar,
+                    const std::set<std::string> &defines, unsigned scale)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = fnv1a(h, workload.source);
+    h = fnv1a(h, multiscalar ? "ms" : "sc", 2);
+    for (const std::string &d : defines)
+        h = fnv1a(h, d);
+    h = fnv1a(h, &scale, sizeof(scale));
+    return h;
+}
 
 std::shared_ptr<const CompiledWorkload>
 compileWorkload(const workloads::Workload &workload, bool multiscalar,
@@ -20,6 +59,8 @@ compileWorkload(const workloads::Workload &workload, bool multiscalar,
     cw->multiscalar = multiscalar;
     cw->defines = defines;
     cw->scale = scale;
+    cw->contentHash =
+        workloadContentHash(workload, multiscalar, defines, scale);
     return cw;
 }
 
@@ -31,26 +72,39 @@ compileWorkload(const std::string &name, bool multiscalar,
                            defines, scale);
 }
 
+namespace {
+
+std::string
+contentKey(const workloads::Workload &workload, bool multiscalar,
+           const std::set<std::string> &defines, unsigned scale)
+{
+    const std::uint64_t h =
+        workloadContentHash(workload, multiscalar, defines, scale);
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  (unsigned long long)h);
+    return workload.name + "@" + hex;
+}
+
+} // namespace
+
 std::string
 ProgramCache::key(const std::string &name, bool multiscalar,
                   const std::set<std::string> &defines, unsigned scale)
 {
-    std::string k = name;
-    k += multiscalar ? "|ms|" : "|sc|";
-    for (const std::string &d : defines) {
-        k += d;
-        k += ',';
-    }
-    k += '|';
-    k += std::to_string(scale);
-    return k;
+    return contentKey(workloads::get(name, scale), multiscalar, defines,
+                      scale);
 }
 
 std::shared_ptr<const CompiledWorkload>
 ProgramCache::get(const std::string &name, bool multiscalar,
                   const std::set<std::string> &defines, unsigned scale)
 {
-    const std::string k = key(name, multiscalar, defines, scale);
+    // Build the workload up front: the content key hashes its
+    // generated source (unknown names throw here, before the map).
+    const workloads::Workload workload = workloads::get(name, scale);
+    const std::string k =
+        contentKey(workload, multiscalar, defines, scale);
 
     std::promise<Ptr> promise;
     std::shared_future<Ptr> future;
@@ -73,12 +127,22 @@ ProgramCache::get(const std::string &name, bool multiscalar,
         // parallel; same-key waiters block on the future instead.
         try {
             promise.set_value(
-                compileWorkload(name, multiscalar, defines, scale));
+                compileWorkload(workload, multiscalar, defines, scale));
         } catch (...) {
             promise.set_exception(std::current_exception());
         }
     }
     return future.get();
+}
+
+bool
+ProgramCache::contains(const std::string &name, bool multiscalar,
+                       const std::set<std::string> &defines,
+                       unsigned scale) const
+{
+    const std::string k = key(name, multiscalar, defines, scale);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.count(k) != 0;
 }
 
 std::uint64_t
@@ -93,6 +157,13 @@ ProgramCache::misses() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return misses_;
+}
+
+std::size_t
+ProgramCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
 }
 
 void

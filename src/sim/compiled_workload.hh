@@ -9,12 +9,17 @@
  * same CompiledWorkload simultaneously — each session builds its own
  * processor, memory image and syscall state from it.
  *
- * ProgramCache memoizes compilation per (workload, mode, defines,
- * scale) key behind a mutex. Each key is assembled exactly once even
- * when many worker threads request it at the same instant (late
- * arrivals block on a shared future instead of re-assembling), and
- * hit/miss counters let sweeps assert that no cell paid for a
- * duplicate assembly.
+ * ProgramCache memoizes compilation behind a mutex, keyed by a
+ * content hash: FNV-1a 64 over the workload's assembly source, the
+ * machine mode, the assembler defines and the input scale (prefixed
+ * with the workload name, because a Workload bundles host-side
+ * input/init/expected state beyond the source text). Repeat requests
+ * for the same content never recompile, and a workload whose
+ * generated source changes can never be served a stale program. Each
+ * key is assembled exactly once even when many worker threads request
+ * it at the same instant (late arrivals block on a shared future
+ * instead of re-assembling), and hit/miss counters let sweeps assert
+ * that no cell paid for a duplicate assembly.
  */
 
 #ifndef MSIM_SIM_COMPILED_WORKLOAD_HH
@@ -54,7 +59,23 @@ struct CompiledWorkload
     std::set<std::string> defines;
     /** Input scale the workload was built with. */
     unsigned scale = 1;
+    /**
+     * Content hash of (source, mode, defines, scale) — the
+     * ProgramCache addressing key, also surfaced by msim-server so
+     * clients can observe cache identity.
+     */
+    std::uint64_t contentHash = 0;
 };
+
+/**
+ * FNV-1a 64 content hash over the compilation point: the workload's
+ * assembly source text, the machine mode, the (sorted) assembler
+ * defines and the input scale.
+ */
+std::uint64_t workloadContentHash(const workloads::Workload &workload,
+                                  bool multiscalar,
+                                  const std::set<std::string> &defines,
+                                  unsigned scale);
 
 /**
  * Assemble a registry workload into a CompiledWorkload.
@@ -72,7 +93,8 @@ compileWorkload(const workloads::Workload &workload, bool multiscalar,
                 unsigned scale = 1);
 
 /**
- * Memoized compilation keyed by (workload, mode, defines, scale).
+ * Memoized compilation, content-addressed by
+ * workloadContentHash(source, mode, defines, scale).
  *
  * get() is safe to call from any number of threads; a key is
  * assembled exactly once (misses() counts assemblies). Compilation
@@ -90,10 +112,21 @@ class ProgramCache
     std::uint64_t hits() const;
     /** Lookups that triggered an assembly (== distinct keys seen). */
     std::uint64_t misses() const;
+    /** Entries currently resident. */
+    std::size_t size() const;
+    /** True when the compilation point is already resident. */
+    bool contains(const std::string &name, bool multiscalar,
+                  const std::set<std::string> &defines = {},
+                  unsigned scale = 1) const;
     /** Drop every entry and reset the counters. */
     void clear();
 
-    /** The memoization key for a compilation point (exposed for tests). */
+    /**
+     * The content-addressed memoization key for a compilation point:
+     * "<name>@<hex content hash>". Builds the workload to hash its
+     * generated source (exposed for tests and the experiment
+     * engine's memoization invariant).
+     */
     static std::string key(const std::string &name, bool multiscalar,
                            const std::set<std::string> &defines,
                            unsigned scale);

@@ -63,9 +63,15 @@ runCompiled(const CompiledWorkload &compiled, const RunSpec &spec)
             ? runSession<MultiscalarProcessor>(compiled, spec.ms, spec)
             : runSession<ScalarProcessor>(compiled, spec.scalar, spec);
 
-    fatalIf(result.hitMaxCycles, "workload ", compiled.workload.name,
-            " exhausted its cycle budget (maxCycles=", spec.maxCycles,
-            ") without reaching the exit syscall");
+    if (result.hitMaxCycles) {
+        std::ostringstream os;
+        os << "fatal: workload " << compiled.workload.name
+           << " exhausted its cycle budget (maxCycles=" << spec.maxCycles
+           << ") without reaching the exit syscall after "
+           << result.cycles << " cycles";
+        throw BudgetExhaustedError(os.str(), result.cycles,
+                                   spec.maxCycles);
+    }
     fatalIf(!result.exited, "workload ", compiled.workload.name,
             " stopped without exiting (and without hitting the cycle "
             "budget — simulator bug?)");

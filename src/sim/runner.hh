@@ -24,6 +24,7 @@
 #include <set>
 #include <string>
 
+#include "common/logging.hh"
 #include "core/ms_config.hh"
 #include "core/run_result.hh"
 #include "core/scalar_processor.hh"
@@ -32,6 +33,29 @@
 #include "workloads/workload.hh"
 
 namespace msim {
+
+/**
+ * Thrown by runCompiled when a run stops because it exhausted its
+ * cycle budget (RunSpec::maxCycles) instead of exiting. A FatalError
+ * subclass, so existing catch sites keep working, but it additionally
+ * carries the budget and the cycles actually consumed so callers
+ * (msim-server's `budget_exhausted` protocol error in particular) can
+ * tell clients exactly how much to raise the budget on retry.
+ */
+class BudgetExhaustedError : public FatalError
+{
+  public:
+    BudgetExhaustedError(const std::string &msg, Cycle consumed,
+                         Cycle limit)
+        : FatalError(msg), cyclesConsumed(consumed), budget(limit)
+    {
+    }
+
+    /** Cycles simulated before the run was cut off (== the budget). */
+    Cycle cyclesConsumed = 0;
+    /** The budget that was exhausted (RunSpec::maxCycles). */
+    Cycle budget = 0;
+};
 
 /** How to run a workload. */
 struct RunSpec

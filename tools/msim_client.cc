@@ -1,0 +1,415 @@
+/**
+ * @file
+ * msim-client: command-line client for msim-server (msim-rpc-v1).
+ *
+ *   msim-client [--host A] --port N <command> [options]
+ *
+ * Commands:
+ *
+ *   ping                      round-trip check
+ *   stats                     print the server's counters (JSON)
+ *   assemble <workload>       assemble and cache a workload
+ *       [--scalar] [--define NAME] [--scale N]
+ *   run <workload>            run one simulation, print the result
+ *       [--scalar] [--units N] [--issue-width N] [--ooo]
+ *       [--predictor pas|last|static] [--define NAME] [--scale N]
+ *       [--max-cycles N] [--timeout-ms N]
+ *   sweep                     run the Table 2 suite as a server sweep
+ *       [--smoke] [--json FILE] [--timeout-ms N]
+ *       Streams each cell as it completes; --json reassembles the
+ *       full msim-sweep-v1 report (cells in registration order).
+ *   selftest                  differential check: the same cells via
+ *       [--smoke]             the server and via direct in-process
+ *                             runs must be bit-identical
+ *
+ * Exit status: 0 on success, 1 on server/simulation errors (the
+ * error frame is printed), 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/suites.hh"
+#include "common/logging.hh"
+#include "exp/report.hh"
+#include "exp/scheduler.hh"
+#include "server/client.hh"
+#include "server/protocol.hh"
+#include "sim/runner.hh"
+
+namespace {
+
+using msim::json::Value;
+using msim::server::Client;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: msim-client [--host A] --port N <command> [options]\n"
+        "commands: ping | stats | assemble <workload> | run <workload>"
+        " | sweep | selftest\n"
+        "see the header of tools/msim_client.cc for details\n");
+    return 2;
+}
+
+/** Print a response frame; return 1 when it is an error frame. */
+int
+report(const Value &response)
+{
+    std::printf("%s\n", response.dump().c_str());
+    return msim::server::isErrorFrame(response) ? 1 : 0;
+}
+
+/**
+ * Structural equality, ignoring object entries named in @p ignore at
+ * any depth (used to skip host-dependent wall_seconds fields).
+ */
+bool
+jsonEqualIgnoring(const Value &a, const Value &b,
+                  const std::set<std::string> &ignore)
+{
+    if (a.kind() != b.kind())
+        return false;
+    switch (a.kind()) {
+      case Value::Kind::Object: {
+        std::size_t ia = 0, ib = 0;
+        const auto &ea = a.entries();
+        const auto &eb = b.entries();
+        while (true) {
+            while (ia < ea.size() && ignore.count(ea[ia].first))
+                ++ia;
+            while (ib < eb.size() && ignore.count(eb[ib].first))
+                ++ib;
+            if (ia == ea.size() || ib == eb.size())
+                return ia == ea.size() && ib == eb.size();
+            if (ea[ia].first != eb[ib].first ||
+                !jsonEqualIgnoring(ea[ia].second, eb[ib].second,
+                                   ignore))
+                return false;
+            ++ia;
+            ++ib;
+        }
+      }
+      case Value::Kind::Array: {
+        if (a.items().size() != b.items().size())
+            return false;
+        for (std::size_t i = 0; i < a.items().size(); ++i)
+            if (!jsonEqualIgnoring(a.items()[i], b.items()[i], ignore))
+                return false;
+        return true;
+      }
+      default:
+        return a.dump() == b.dump();
+    }
+}
+
+/** Parse the msim-sweep-v1 cell row of a local CellResult. */
+Value
+localCellJson(const msim::exp::CellResult &cell)
+{
+    std::ostringstream os;
+    msim::exp::writeJsonCell(os, cell, "");
+    return Value::parse(os.str());
+}
+
+/** The Table 2 experiment the sweep/selftest commands run. */
+msim::exp::Experiment
+table2Experiment(bool smoke)
+{
+    msim::exp::Experiment e(smoke ? "msim-client-sweep-smoke"
+                                  : "msim-client-sweep");
+    msim::bench::declareTable2(e, smoke ? msim::bench::kSmokeOrder
+                                        : msim::bench::kPaperOrder);
+    return e;
+}
+
+int
+cmdSweep(Client &client, bool smoke, const std::string &jsonPath,
+         std::uint64_t timeoutMs)
+{
+    const msim::exp::Experiment e = table2Experiment(smoke);
+    const Value request =
+        msim::server::makeSweepRequest(e.cells(), 1, timeoutMs);
+
+    std::printf("sweep: %zu cells\n", e.cells().size());
+    const Client::SweepOutcome outcome = client.sweep(
+        request, [](const Client::StreamedCell &cell) {
+            const Value *name = cell.cell.find("name");
+            const Value *ok = cell.cell.find("ok");
+            const Value *cycles = cell.cell.find("cycles");
+            std::printf(
+                "  cell %-40s %s  %lld cycles\n",
+                name != nullptr ? name->asString().c_str() : "?",
+                ok != nullptr && ok->asBool() ? "ok " : "FAIL",
+                cycles != nullptr ? (long long)cycles->asInt() : 0);
+            std::fflush(stdout);
+        });
+
+    const Value *failed = outcome.done.find("cells_failed");
+    const Value *wall = outcome.done.find("wall_seconds");
+    std::printf("sweep done: %zu cells, %lld failed, %.2fs\n",
+                outcome.cells.size(),
+                failed != nullptr ? (long long)failed->asInt() : -1,
+                wall != nullptr ? wall->asDouble() : 0.0);
+
+    if (!jsonPath.empty()) {
+        // Reassemble a full msim-sweep-v1 document from the stream
+        // (cells are already back in registration order).
+        Value doc = Value::object();
+        doc.set("schema", Value("msim-sweep-v1"));
+        doc.set("experiment", Value(e.name()));
+        const Value stats = client.call(
+            msim::server::makeResponse("stats", 2));
+        const Value *sv = stats.find("stats");
+        const Value *workers =
+            sv != nullptr ? sv->find("workers") : nullptr;
+        doc.set("jobs", workers != nullptr ? *workers : Value(0));
+        doc.set("wall_seconds",
+                wall != nullptr ? *wall : Value(0.0));
+        doc.set("cells_total", Value(outcome.cells.size()));
+        doc.set("cells_failed",
+                failed != nullptr ? *failed : Value(0));
+        const Value *cache = outcome.done.find("program_cache");
+        doc.set("program_cache",
+                cache != nullptr ? *cache : Value::object());
+        Value cells = Value::array();
+        for (const Client::StreamedCell &cell : outcome.cells)
+            cells.push(cell.cell);
+        doc.set("cells", std::move(cells));
+
+        std::FILE *f = std::fopen(jsonPath.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr,
+                         "msim-client: cannot open --json file %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        const std::string text = doc.dump();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote JSON report: %s\n", jsonPath.c_str());
+    }
+    return failed != nullptr && failed->asInt() == 0 ? 0 : 1;
+}
+
+int
+cmdSelftest(Client &client, bool smoke)
+{
+    int rc = 0;
+
+    // Single runs: the server's "result" object must match a direct
+    // in-process runCompiled byte for byte.
+    msim::ProgramCache cache;
+    for (const bool multiscalar : {false, true}) {
+        msim::RunSpec spec;
+        spec.multiscalar = multiscalar;
+        if (multiscalar)
+            spec.ms.numUnits = 4;
+        const Value response = client.call(
+            msim::server::makeRunRequest("example", spec, 1, 7));
+        if (msim::server::isErrorFrame(response)) {
+            std::fprintf(stderr, "selftest: run failed: %s\n",
+                         response.dump().c_str());
+            return 1;
+        }
+        auto compiled =
+            cache.get("example", multiscalar, spec.defines, 1);
+        const msim::RunResult local =
+            msim::runCompiled(*compiled, spec);
+        const Value *remote = response.find("result");
+        const std::string localDump =
+            msim::server::resultToJson(local).dump();
+        if (remote == nullptr || remote->dump() != localDump) {
+            std::fprintf(
+                stderr,
+                "selftest: MISMATCH on example (%s)\n  server: %s\n"
+                "  local:  %s\n",
+                multiscalar ? "multiscalar" : "scalar",
+                remote != nullptr ? remote->dump().c_str() : "absent",
+                localDump.c_str());
+            rc = 1;
+        } else {
+            std::printf("selftest: run example (%s) identical\n",
+                        multiscalar ? "multiscalar" : "scalar");
+        }
+    }
+
+    // Sweep: every streamed cell row must match the same cell run by
+    // the in-process SweepScheduler (wall clock aside).
+    const msim::exp::Experiment e = table2Experiment(smoke);
+    const Client::SweepOutcome outcome =
+        client.sweep(msim::server::makeSweepRequest(e.cells(), 8));
+    msim::exp::SweepScheduler scheduler;
+    const msim::exp::SweepResult local = scheduler.run(e);
+    if (outcome.cells.size() != local.cells.size()) {
+        std::fprintf(stderr,
+                     "selftest: cell count mismatch (%zu vs %zu)\n",
+                     outcome.cells.size(), local.cells.size());
+        return 1;
+    }
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < local.cells.size(); ++i) {
+        const Value localCell = localCellJson(local.cells[i]);
+        if (!jsonEqualIgnoring(outcome.cells[i].cell, localCell,
+                               {"wall_seconds"})) {
+            std::fprintf(stderr,
+                         "selftest: MISMATCH in cell %s\n  server: "
+                         "%s\n  local:  %s\n",
+                         local.cells[i].name.c_str(),
+                         outcome.cells[i].cell.dump().c_str(),
+                         localCell.dump().c_str());
+            ++mismatches;
+        }
+    }
+    if (mismatches == 0)
+        std::printf("selftest: sweep of %zu cells identical\n",
+                    local.cells.size());
+    else
+        rc = 1;
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    unsigned port = 0;
+    std::string command;
+    std::string workload;
+    bool smoke = false;
+    bool multiscalar = true;
+    bool outOfOrder = false;
+    unsigned units = 0;
+    unsigned issueWidth = 0;
+    unsigned scale = 1;
+    std::string predictor;
+    std::string jsonPath;
+    std::set<std::string> defines;
+    std::uint64_t maxCycles = 0;
+    std::uint64_t timeoutMs = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "msim-client: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            host = value();
+        } else if (arg == "--port") {
+            port = unsigned(std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--scalar") {
+            multiscalar = false;
+        } else if (arg == "--ooo") {
+            outOfOrder = true;
+        } else if (arg == "--units") {
+            units = unsigned(std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--issue-width") {
+            issueWidth = unsigned(std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--scale") {
+            scale = unsigned(std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--predictor") {
+            predictor = value();
+        } else if (arg == "--define") {
+            defines.insert(value());
+        } else if (arg == "--max-cycles") {
+            maxCycles = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--timeout-ms") {
+            timeoutMs = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--json") {
+            jsonPath = value();
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "msim-client: unknown option %s\n",
+                         arg.c_str());
+            return usage();
+        } else if (command.empty()) {
+            command = arg;
+        } else if (workload.empty()) {
+            workload = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (command.empty() || port == 0 || port > 65535)
+        return usage();
+
+    try {
+        Client client;
+        client.connect(host, std::uint16_t(port));
+
+        if (command == "ping")
+            return report(
+                client.call(msim::server::makeResponse("ping", 1)));
+        if (command == "stats")
+            return report(
+                client.call(msim::server::makeResponse("stats", 1)));
+
+        if (command == "assemble") {
+            if (workload.empty())
+                return usage();
+            msim::server::AssembleRequest req;
+            req.workload = workload;
+            req.multiscalar = multiscalar;
+            req.defines = defines;
+            req.scale = scale;
+            return report(client.call(
+                msim::server::makeAssembleRequest(req, 1)));
+        }
+
+        if (command == "run") {
+            if (workload.empty())
+                return usage();
+            msim::RunSpec spec;
+            spec.multiscalar = multiscalar;
+            spec.defines = defines;
+            if (multiscalar) {
+                if (units != 0)
+                    spec.ms.numUnits = units;
+                if (issueWidth != 0)
+                    spec.ms.pu.issueWidth = issueWidth;
+                spec.ms.pu.outOfOrder = outOfOrder;
+                if (!predictor.empty())
+                    spec.ms.predictor = predictor;
+            } else {
+                if (issueWidth != 0)
+                    spec.scalar.pu.issueWidth = issueWidth;
+                spec.scalar.pu.outOfOrder = outOfOrder;
+            }
+            if (maxCycles != 0)
+                spec.maxCycles = maxCycles;
+            return report(client.call(msim::server::makeRunRequest(
+                workload, spec, scale, 1, timeoutMs)));
+        }
+
+        if (command == "sweep")
+            return cmdSweep(client, smoke, jsonPath, timeoutMs);
+        if (command == "selftest")
+            return cmdSelftest(client, smoke);
+
+        std::fprintf(stderr, "msim-client: unknown command '%s'\n",
+                     command.c_str());
+        return usage();
+    } catch (const msim::FatalError &e) {
+        std::fprintf(stderr, "msim-client: %s\n", e.what());
+        return 1;
+    }
+}

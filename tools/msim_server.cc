@@ -1,0 +1,175 @@
+/**
+ * @file
+ * msim-server: the simulation-as-a-service daemon.
+ *
+ *   msim-server [--host A] [--port N] [--jobs N] [--queue N]
+ *               [--max-cycles N] [--timeout-ms N] [--max-conns N]
+ *               [--print-port]
+ *
+ * Binds a TCP listener (loopback by default, port 0 = ephemeral) and
+ * serves msim-rpc-v1 (see DESIGN.md): assemble / run / sweep requests
+ * are sharded onto a fixed worker pool behind a bounded admission
+ * queue, all connections share one content-addressed program cache,
+ * and sweep results stream back per cell.
+ *
+ * Options:
+ *
+ *   --host A        bind address (default 127.0.0.1)
+ *   --port N        TCP port (default 0 = pick an ephemeral port)
+ *   --jobs N        worker threads (default: $MSIM_JOBS or the
+ *                   host's hardware concurrency)
+ *   --queue N       admission queue capacity in jobs (default 256);
+ *                   requests beyond it are shed with `overloaded`
+ *   --max-cycles N  server-wide cap on any request's cycle budget
+ *                   (default 1e9)
+ *   --timeout-ms N  default wall-clock deadline per request
+ *                   (default 0 = none; requests can set their own)
+ *   --max-conns N   concurrent connection cap (default 64)
+ *   --print-port    print only the bound port on the first stdout
+ *                   line (for scripts wrapping an ephemeral port)
+ *
+ * SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests
+ * drain to completion, new work is refused with `shutting_down`, and
+ * the daemon exits 0.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/logging.hh"
+#include "server/server.hh"
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void
+onSignal(int sig)
+{
+    g_signal.store(sig);
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: msim-server [--host A] [--port N] [--jobs N]\n"
+        "                   [--queue N] [--max-cycles N]\n"
+        "                   [--timeout-ms N] [--max-conns N]\n"
+        "                   [--print-port]\n"
+        "see the header of tools/msim_server.cc for details\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    msim::server::ServerConfig config;
+    bool printPort = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "msim-server: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            config.host = value();
+        } else if (arg == "--port") {
+            config.port = std::uint16_t(
+                std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--jobs" || arg == "-j") {
+            config.service.jobs =
+                unsigned(std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--queue") {
+            config.service.queueCapacity =
+                std::strtoul(value(), nullptr, 10);
+            if (config.service.queueCapacity == 0) {
+                std::fprintf(stderr,
+                             "msim-server: --queue must be positive\n");
+                return 2;
+            }
+        } else if (arg == "--max-cycles") {
+            config.service.maxCyclesPerRequest =
+                std::strtoull(value(), nullptr, 10);
+            if (config.service.maxCyclesPerRequest == 0) {
+                std::fprintf(
+                    stderr,
+                    "msim-server: --max-cycles must be positive\n");
+                return 2;
+            }
+        } else if (arg == "--timeout-ms") {
+            config.service.defaultTimeoutMs =
+                std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--max-conns") {
+            config.maxConnections =
+                unsigned(std::strtoul(value(), nullptr, 10));
+            if (config.maxConnections == 0) {
+                std::fprintf(
+                    stderr,
+                    "msim-server: --max-conns must be positive\n");
+                return 2;
+            }
+        } else if (arg == "--print-port") {
+            printPort = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "msim-server: unknown argument %s\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+
+    msim::server::Server server(config);
+    try {
+        server.start();
+    } catch (const msim::FatalError &e) {
+        std::fprintf(stderr, "msim-server: %s\n", e.what());
+        return 1;
+    }
+
+    if (printPort) {
+        std::printf("%u\n", unsigned(server.port()));
+    } else {
+        std::printf("msim-server listening on %s:%u "
+                    "(%u workers, queue %zu)\n",
+                    config.host.c_str(), unsigned(server.port()),
+                    server.service().pool().threads(),
+                    server.service().pool().queueCapacity());
+    }
+    std::fflush(stdout);
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+
+    // The signal handler only sets a flag; the main thread owns the
+    // shutdown sequence so it never runs from signal context.
+    while (g_signal.load() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::fprintf(stderr,
+                 "msim-server: received %s, draining in-flight "
+                 "requests\n",
+                 g_signal.load() == SIGINT ? "SIGINT" : "SIGTERM");
+    server.shutdown();
+    std::fprintf(stderr, "msim-server: drained, exiting\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The design-space explorer bench: sweep the canonical machine-shape
+ * grid (units × ring hop latency × ARB entries × task predictor over
+ * paper-default) and report the Pareto frontier of geomean speedup
+ * against the hardware-cost proxy. Beyond the shared bench flags,
+ * --pareto FILE writes the msim-explore-v1 JSON document (points,
+ * costs, speedups, frontier) next to the raw msim-sweep-v1 cells of
+ * --json FILE.
+ *
+ * --smoke shrinks both the axes (ExploreAxes::smoke) and the
+ * workload set — CI runs it on every push as the gate that the
+ * config layer, the explorer and the cost model stay wired together.
+ */
+
+#include <fstream>
+
+#include "bench/bench_common.hh"
+#include "exp/explore.hh"
+
+namespace {
+
+using namespace msim;
+using namespace msim::bench;
+
+struct ExploreOptions
+{
+    BenchOptions bench;
+    std::string paretoPath;
+};
+
+ExploreOptions
+parseExploreArgs(int argc, char **argv)
+{
+    // Peel off --pareto, delegate the rest to the shared parser.
+    ExploreOptions opt;
+    std::vector<char *> rest = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--pareto") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--pareto needs a value\n");
+                std::exit(2);
+            }
+            opt.paretoPath = argv[++i];
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    opt.bench = parseArgs(int(rest.size()), rest.data());
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ExploreOptions opt = parseExploreArgs(argc, argv);
+
+    const exp::ExploreAxes axes =
+        opt.bench.smoke ? exp::ExploreAxes::smoke() : exp::ExploreAxes();
+    const std::vector<std::string> workloads =
+        opt.bench.smoke ? kSmokeOrder : kPaperOrder;
+
+    exp::Experiment experiment(opt.bench.smoke ? "explore-smoke"
+                                               : "explore");
+    exp::declareExplore(experiment, axes, workloads);
+    const exp::SweepResult sweep = runExperiment(experiment, opt.bench);
+
+    const exp::ExploreReport report =
+        exp::computeExplore(sweep, axes, workloads);
+    exp::renderExploreReport(report);
+
+    if (!opt.paretoPath.empty()) {
+        std::ofstream os(opt.paretoPath);
+        fatalIf(!os, "cannot open --pareto file '", opt.paretoPath,
+                "'");
+        exp::writeExploreJson(os, report);
+        std::printf("wrote explore report: %s\n",
+                    opt.paretoPath.c_str());
+    }
+
+    if (report.frontier.empty()) {
+        std::fprintf(stderr, "no Pareto frontier: every grid point "
+                             "failed\n");
+        return 1;
+    }
+    return sweep.failures() == 0 ? 0 : 1;
+}

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "config/machine_shape.hh"
 #include "server/client.hh"
 #include "server/protocol.hh"
 #include "server/server.hh"
@@ -139,27 +140,21 @@ buildRequest(Req req, std::minstd_rand &rng, std::int64_t id)
         a.multiscalar = (rng() % 2) == 0;
         return server::makeAssembleRequest(a, id);
       }
-      case Req::kRunScalar: {
-        RunSpec spec;
-        spec.multiscalar = false;
-        return server::makeRunRequest(kMixWorkloads[rng() % 3], spec,
+      case Req::kRunScalar:
+        return server::makeRunRequest(
+            kMixWorkloads[rng() % 3],
+            config::specForShape("scalar-1w"), 1, id);
+      case Req::kRunMulti:
+        return server::makeRunRequest(kMixWorkloads[rng() % 3],
+                                      config::specForShape("ms4-1w"),
                                       1, id);
-      }
-      case Req::kRunMulti: {
-        RunSpec spec;
-        spec.multiscalar = true;
-        spec.ms.numUnits = 4;
-        return server::makeRunRequest(kMixWorkloads[rng() % 3], spec,
-                                      1, id);
-      }
       case Req::kSweep: {
         std::vector<exp::Cell> cells;
         for (const char *name : kMixWorkloads) {
             exp::Cell cell;
             cell.name = std::string("mix/") + name;
             cell.workload = name;
-            cell.spec.multiscalar = true;
-            cell.spec.ms.numUnits = 4;
+            cell.spec = config::specForShape("ms4-1w");
             cells.push_back(std::move(cell));
         }
         return server::makeSweepRequest(cells, id);

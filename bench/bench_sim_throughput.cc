@@ -36,6 +36,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "config/machine_shape.hh"
 #include "exp/experiment.hh"
 #include "exp/scheduler.hh"
 #include "sim/runner.hh"
@@ -49,8 +50,7 @@ void
 simScalar(benchmark::State &state)
 {
     workloads::Workload w = workloads::get("wc");
-    RunSpec spec;
-    spec.multiscalar = false;
+    const RunSpec spec = config::specForShape("scalar-1w");
     std::uint64_t instrs = 0, cycles = 0;
     for (auto _ : state) {
         RunResult r = runWorkload(w, spec);
@@ -67,9 +67,8 @@ void
 simMultiscalar(benchmark::State &state)
 {
     workloads::Workload w = workloads::get("wc");
-    RunSpec spec;
-    spec.multiscalar = true;
-    spec.ms.numUnits = unsigned(state.range(0));
+    const RunSpec spec = config::specForShape(
+        "units-" + std::to_string(state.range(0)));
     std::uint64_t instrs = 0, cycles = 0;
     for (auto _ : state) {
         RunResult r = runWorkload(w, spec);
@@ -86,9 +85,8 @@ void
 simMultiscalarTracedNull(benchmark::State &state)
 {
     workloads::Workload w = workloads::get("wc");
-    RunSpec spec;
-    spec.multiscalar = true;
-    spec.ms.numUnits = unsigned(state.range(0));
+    RunSpec spec = config::specForShape(
+        "units-" + std::to_string(state.range(0)));
     spec.trace.enabled = true;
     spec.trace.sink = "null";
     std::uint64_t cycles = 0;
@@ -106,17 +104,12 @@ scalingExperiment()
 {
     exp::Experiment e("throughput-scaling");
     for (const char *name : {"wc", "cmp", "example"}) {
-        RunSpec scalar;
-        scalar.multiscalar = false;
-        e.add(std::string("scale/") + name + "/scalar", name, scalar);
-        for (unsigned units : {2u, 4u, 8u}) {
-            RunSpec ms;
-            ms.multiscalar = true;
-            ms.ms.numUnits = units;
-            e.add(std::string("scale/") + name + "/" +
-                      std::to_string(units) + "u",
-                  name, ms);
-        }
+        e.addShape(std::string("scale/") + name + "/scalar", name,
+                   "scalar-1w");
+        for (unsigned units : {2u, 4u, 8u})
+            e.addShape(std::string("scale/") + name + "/" +
+                           std::to_string(units) + "u",
+                       name, "units-" + std::to_string(units));
     }
     return e;
 }
@@ -188,9 +181,7 @@ median(std::vector<double> v)
 int
 checkDisabledFastPath()
 {
-    RunSpec off;
-    off.multiscalar = true;
-    off.ms.numUnits = 8;
+    RunSpec off = config::specForShape("ms8-1w");
 
     RunSpec null_sink = off;
     null_sink.trace.enabled = true;
@@ -259,8 +250,11 @@ reportFastForward()
         for (int cfg = 0; cfg < 4; ++cfg) {
             const bool multiscalar = cfg & 1;
             const bool slow_mem = cfg & 2;
-            RunSpec off;
-            off.multiscalar = multiscalar;
+            // Shapes describe the machine; fast-forward and the
+            // slow-memory sensitivity point are runtime toggles on
+            // top of the declared base.
+            RunSpec off = config::specForShape(
+                multiscalar ? "paper-default" : "scalar-1w");
             off.ms.fastForward = false;
             off.scalar.fastForward = false;
             if (slow_mem) {

@@ -7,6 +7,14 @@
  * bench_paper runs all of them in a single sweep. Declarations take
  * a workload list so smoke runs can shrink the grid without changing
  * the cell naming scheme.
+ *
+ * Every machine configuration comes from a shipped declarative shape
+ * (the shapes/ directory, resolved through src/config) rather than
+ * an inline MsConfig literal, so the grids the benches run are the
+ * grids a user can reproduce with msim-explore or --machine. The
+ * shape files encode the same configurations the literals used to;
+ * the golden-cycle tests and the bench JSON reports are bit-identical
+ * across the switch.
  */
 
 #ifndef MSIM_BENCH_SUITES_HH
@@ -15,6 +23,7 @@
 #include <algorithm>
 
 #include "bench/bench_common.hh"
+#include "config/machine_shape.hh"
 #include "trace/cycle_accounting.hh"
 
 namespace msim::bench {
@@ -32,13 +41,8 @@ declareTable2(Experiment &e,
               const std::vector<std::string> &names = kPaperOrder)
 {
     for (const std::string &name : names) {
-        RunSpec scalar;
-        scalar.multiscalar = false;
-        e.add("table2/" + name + "/scalar", name, scalar);
-        RunSpec ms;
-        ms.multiscalar = true;
-        ms.ms.numUnits = 4;
-        e.add("table2/" + name + "/multiscalar", name, ms);
+        e.addShape("table2/" + name + "/scalar", name, "scalar-1w");
+        e.addShape("table2/" + name + "/multiscalar", name, "ms4-1w");
     }
 }
 
@@ -70,25 +74,19 @@ declareTable34(Experiment &e, const std::string &table,
                bool out_of_order,
                const std::vector<std::string> &names = kPaperOrder)
 {
+    const std::string ooo = out_of_order ? "-ooo" : "";
     for (const std::string &name : names) {
         for (unsigned width : {1u, 2u}) {
-            RunSpec scalar;
-            scalar.multiscalar = false;
-            scalar.scalar.pu.issueWidth = width;
-            scalar.scalar.pu.outOfOrder = out_of_order;
-            e.add(table + "/" + name + "/scalar_" +
-                      std::to_string(width) + "way",
-                  name, scalar);
+            const std::string w = std::to_string(width);
+            e.addShape(table + "/" + name + "/scalar_" + w + "way",
+                       name, "scalar-" + w + "w" + ooo);
             for (unsigned units : {4u, 8u}) {
-                RunSpec ms;
-                ms.multiscalar = true;
-                ms.ms.numUnits = units;
-                ms.ms.pu.issueWidth = width;
-                ms.ms.pu.outOfOrder = out_of_order;
-                e.add(table + "/" + name + "/" +
-                          std::to_string(units) + "unit_" +
-                          std::to_string(width) + "way",
-                      name, ms);
+                e.addShape(table + "/" + name + "/" +
+                               std::to_string(units) + "unit_" + w +
+                               "way",
+                           name,
+                           "ms" + std::to_string(units) + "-" + w +
+                               "w" + ooo);
             }
         }
     }
@@ -131,12 +129,8 @@ inline void
 declareBreakdown(Experiment &e,
                  const std::vector<std::string> &names = kPaperOrder)
 {
-    for (const std::string &name : names) {
-        RunSpec ms;
-        ms.multiscalar = true;
-        ms.ms.numUnits = 8;
-        e.add("breakdown/" + name, name, ms);
-    }
+    for (const std::string &name : names)
+        e.addShape("breakdown/" + name, name, "ms8-1w");
 }
 
 inline void
@@ -205,16 +199,9 @@ declarePredictor(Experiment &e,
                  const std::vector<std::string> &names = kPaperOrder)
 {
     for (const std::string &name : names) {
-        RunSpec scalar;
-        scalar.multiscalar = false;
-        e.add("pred/" + name + "/scalar", name, scalar);
-        for (const std::string &p : kPredictorKinds) {
-            RunSpec ms;
-            ms.multiscalar = true;
-            ms.ms.numUnits = 8;
-            ms.ms.predictor = p;
-            e.add("pred/" + name + "/" + p, name, ms);
-        }
+        e.addShape("pred/" + name + "/scalar", name, "scalar-1w");
+        for (const std::string &p : kPredictorKinds)
+            e.addShape("pred/" + name + "/" + p, name, "pred-" + p);
     }
 }
 
@@ -255,16 +242,10 @@ declareUnits(Experiment &e,
              const std::vector<std::string> &names = kPaperOrder)
 {
     for (const std::string &name : names) {
-        RunSpec scalar;
-        scalar.multiscalar = false;
-        e.add("units/" + name + "/scalar", name, scalar);
-        for (unsigned u : kUnitCounts) {
-            RunSpec ms;
-            ms.multiscalar = true;
-            ms.ms.numUnits = u;
-            e.add("units/" + name + "/" + std::to_string(u), name,
-                  ms);
-        }
+        e.addShape("units/" + name + "/scalar", name, "scalar-1w");
+        for (unsigned u : kUnitCounts)
+            e.addShape("units/" + name + "/" + std::to_string(u),
+                       name, "units-" + std::to_string(u));
     }
 }
 
@@ -305,17 +286,10 @@ declareRing(Experiment &e,
             const std::vector<std::string> &names = kRingBenches)
 {
     for (const std::string &name : names) {
-        RunSpec scalar;
-        scalar.multiscalar = false;
-        e.add("ring/" + name + "/scalar", name, scalar);
-        for (unsigned h : kRingHops) {
-            RunSpec ms;
-            ms.multiscalar = true;
-            ms.ms.numUnits = 8;
-            ms.ms.ringHopLatency = h;
-            e.add("ring/" + name + "/hop" + std::to_string(h), name,
-                  ms);
-        }
+        e.addShape("ring/" + name + "/scalar", name, "scalar-1w");
+        for (unsigned h : kRingHops)
+            e.addShape("ring/" + name + "/hop" + std::to_string(h),
+                       name, "ring-hop" + std::to_string(h));
     }
 }
 
@@ -356,21 +330,15 @@ declareArb(Experiment &e,
            const std::vector<std::string> &names = kArbBenches)
 {
     for (const std::string &name : names) {
-        RunSpec scalar;
-        scalar.multiscalar = false;
-        e.add("arb/" + name + "/scalar", name, scalar);
+        e.addShape("arb/" + name + "/scalar", name, "scalar-1w");
         for (unsigned entries : kArbEntries) {
             for (bool stall : {false, true}) {
-                RunSpec ms;
-                ms.multiscalar = true;
-                ms.ms.numUnits = 8;
-                ms.ms.arbEntriesPerBank = entries;
-                ms.ms.arbFullPolicy = stall ? ArbFullPolicy::kStall
-                                            : ArbFullPolicy::kSquash;
-                e.add("arb/" + name + "/" +
-                          (stall ? "stall" : "squash") + "_" +
-                          std::to_string(entries),
-                      name, ms);
+                const std::string policy = stall ? "stall" : "squash";
+                e.addShape("arb/" + name + "/" + policy + "_" +
+                               std::to_string(entries),
+                           name,
+                           "arb-" + policy + "-" +
+                               std::to_string(entries));
             }
         }
     }
@@ -416,15 +384,10 @@ declareIntraBp(Experiment &e,
     for (const std::string &name : names) {
         for (bool bp : {false, true}) {
             const std::string tag = bp ? "bimodal" : "static";
-            RunSpec scalar;
-            scalar.multiscalar = false;
-            scalar.scalar.pu.intraBranchPredict = bp;
-            e.add("bp/" + name + "/scalar_" + tag, name, scalar);
-            RunSpec ms;
-            ms.multiscalar = true;
-            ms.ms.numUnits = 8;
-            ms.ms.pu.intraBranchPredict = bp;
-            e.add("bp/" + name + "/ms_" + tag, name, ms);
+            e.addShape("bp/" + name + "/scalar_" + tag, name,
+                       bp ? "scalar-bimodal" : "scalar-1w");
+            e.addShape("bp/" + name + "/ms_" + tag, name,
+                       bp ? "ms8-bimodal" : "ms8-1w");
         }
     }
 }
@@ -459,11 +422,11 @@ reportIntraBp(const SweepResult &r,
 inline void
 declareSoftware(Experiment &e)
 {
-    RunSpec scalar;
-    scalar.multiscalar = false;
-    RunSpec ms8;
-    ms8.multiscalar = true;
-    ms8.ms.numUnits = 8;
+    // The software ablation varies assembler defines, not hardware:
+    // every cell runs one of two shapes with different workload
+    // variants compiled in.
+    const RunSpec scalar = config::specForShape("scalar-1w");
+    const RunSpec ms8 = config::specForShape("ms8-1w");
 
     // Dead register analysis on the example workload (section 2.2).
     e.add("sw/example/scalar", "example", scalar);

@@ -1,4 +1,4 @@
-#include "server/json.hh"
+#include "common/json.hh"
 
 #include <cctype>
 #include <cmath>
@@ -69,6 +69,17 @@ Value::find(const std::string &key) const
     if (kind_ != Kind::Object)
         return nullptr;
     for (const auto &[k, v] : obj_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+Value *
+Value::find(const std::string &key)
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (auto &[k, v] : obj_)
         if (k == key)
             return &v;
     return nullptr;

@@ -1,0 +1,53 @@
+#include "config/cost_model.hh"
+
+namespace msim::config {
+
+double
+puCostProxy(const PuConfig &pu)
+{
+    // A 1-wide in-order five-stage pipeline is the baseline brick.
+    double cost = 8.0;
+    // The second issue port duplicates decode/issue and a simple ALU.
+    cost += 6.0 * double(pu.issueWidth - 1);
+    // Scoreboarded OoO issue pays for its window's tag CAM.
+    if (pu.outOfOrder)
+        cost += 0.5 * double(pu.windowSize);
+    // Bimodal intra-task predictor: two bits per entry plus muxing.
+    if (pu.intraBranchPredict)
+        cost += double(pu.branchPredictorEntries) / 256.0;
+    return cost;
+}
+
+double
+hardwareCostProxy(const MsConfig &ms)
+{
+    const double units = double(ms.numUnits);
+    const double banks = double(ms.effectiveBanks());
+
+    double cost = units * puCostProxy(ms.pu);
+    // Per-unit instruction caches.
+    cost += units * double(ms.icache.sizeBytes) / 1024.0;
+    // Data cache banks plus the unit × bank crossbar ports.
+    cost += banks * double(ms.bankSizeBytes) / 1024.0;
+    cost += 0.25 * units * banks;
+    // ARB: each entry holds a block's worth of speculative data plus
+    // per-stage load/store bits (paper section 2.3) — call it 1/16 KB.
+    cost += banks * double(ms.arbEntriesPerBank) / 16.0;
+    // Ring bandwidth: issue-width-wide links between all units; a
+    // 1-cycle hop is the expensive design point, slower hops shrink
+    // the wiring budget.
+    cost += 4.0 * units * double(ms.pu.issueWidth) /
+            double(1 + ms.ringHopLatency);
+    // Task prediction hardware: the two-level PAs tables are the
+    // costly variant, last-target a single table, static free.
+    if (ms.predictor == "pas")
+        cost += 16.0;
+    else if (ms.predictor == "last")
+        cost += 4.0;
+    cost += double(ms.rasEntries) / 64.0;
+    // Descriptor cache entries cache a task header (~32 bytes).
+    cost += double(ms.descCacheEntries) / 32.0;
+    return cost;
+}
+
+} // namespace msim::config

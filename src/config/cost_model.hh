@@ -1,0 +1,36 @@
+/**
+ * @file
+ * A deterministic hardware-cost proxy for design-space exploration.
+ *
+ * The explorer (bench_explore, msim-explore) ranks machine shapes by
+ * speedup *and* by how much silicon they would plausibly spend; the
+ * Pareto frontier over (cost, speedup) is the deliverable. Real area
+ * models are out of scope — this is an explicit, fixed formula in
+ * "KB-equivalents" (1.0 ≈ one kilobyte of SRAM) so that points are
+ * comparable across runs and the frontier is reproducible. The
+ * constants are documented in DESIGN.md ("Machine shapes and the
+ * design-space explorer") and must only change together with that
+ * section.
+ */
+
+#ifndef MSIM_CONFIG_COST_MODEL_HH
+#define MSIM_CONFIG_COST_MODEL_HH
+
+#include "core/ms_config.hh"
+
+namespace msim::config {
+
+/** Cost of one processing unit's pipeline (no caches). */
+double puCostProxy(const PuConfig &pu);
+
+/**
+ * Total cost proxy of a multiscalar machine shape: pipelines,
+ * per-unit icaches, data cache banks plus crossbar ports, ARB
+ * storage, ring bandwidth (faster rings cost more), and the task
+ * prediction hardware. Deterministic pure function of the config.
+ */
+double hardwareCostProxy(const MsConfig &ms);
+
+} // namespace msim::config
+
+#endif // MSIM_CONFIG_COST_MODEL_HH

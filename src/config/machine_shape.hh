@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Declarative machine shapes: the JSON description of one simulated
+ * machine (msim-shape-v1).
+ *
+ * A shape file names every knob of MsConfig (units, per-unit
+ * pipeline, ring hop latency, icache and data bank geometry, ARB
+ * entries and full policy, predictor kind with RAS and descriptor
+ * cache sizes, bus parameters) or of the ScalarConfig baseline, with
+ * library defaults for anything omitted. Parsing is strict: unknown
+ * or duplicate keys, wrong types, and out-of-range values all throw
+ * ConfigError carrying the dotted field path ("dcache.bank_size_bytes"),
+ * and every parsed shape passes MsConfig::validate() before it is
+ * returned — a typo can never silently simulate a default machine.
+ *
+ * Shapes ship as files in <repo>/shapes (one per named preset;
+ * overridable with $MSIM_SHAPE_DIR) and double as inline "machine"
+ * objects in msim-rpc-v1 run/sweep requests. Serialization is
+ * canonical (full form, fixed key order), so parse → serialize →
+ * parse is the identity and shape equality is string equality of the
+ * canonical dumps.
+ */
+
+#ifndef MSIM_CONFIG_MACHINE_SHAPE_HH
+#define MSIM_CONFIG_MACHINE_SHAPE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "core/ms_config.hh"
+#include "core/scalar_processor.hh"
+#include "sim/runner.hh"
+
+namespace msim::config {
+
+/** Schema identifier of shape files and inline machine objects. */
+inline constexpr const char *kShapeSchema = "msim-shape-v1";
+
+/** A malformed shape: carries the dotted path of the bad field. */
+class ConfigError : public FatalError
+{
+  public:
+    ConfigError(const std::string &field_path, const std::string &why)
+        : FatalError("shape config: " +
+                     (field_path.empty() ? why
+                                         : field_path + ": " + why)),
+          path(field_path), reason(why)
+    {
+    }
+
+    /** Dotted field path, e.g. "arb.full_policy" ("" = whole doc). */
+    std::string path;
+    /** The violation, without the path prefix. */
+    std::string reason;
+};
+
+/** One declarative machine: a multiscalar or scalar configuration. */
+struct MachineShape
+{
+    /** Preset name ("" for anonymous inline machines). */
+    std::string name;
+    /** True = MsConfig shape, false = ScalarConfig baseline shape. */
+    bool multiscalar = true;
+    MsConfig ms;
+    ScalarConfig scalar;
+};
+
+/** Parse a shape from its JSON document (strict; throws ConfigError). */
+MachineShape shapeFromJson(const json::Value &doc);
+
+/** Serialize the canonical full form (fixed key order, all fields). */
+json::Value shapeToJson(const MachineShape &shape);
+
+/** Parse a shape from JSON text (ParseError becomes ConfigError). */
+MachineShape parseShape(const std::string &text);
+
+/** Load and parse one shape file. */
+MachineShape loadShapeFile(const std::string &path);
+
+/** Structural equality via canonical serialization. */
+bool shapeEquals(const MachineShape &a, const MachineShape &b);
+
+/**
+ * The shape preset directory: $MSIM_SHAPE_DIR when set, else the
+ * compiled-in <repo>/shapes default.
+ */
+std::string shapeDir();
+
+/** Sorted preset names (the *.json basenames in shapeDir()). */
+std::vector<std::string> listShapeNames();
+
+/**
+ * Resolve a shape by preset name or file path and cache the result.
+ * Anything containing '/' or ending in ".json" is read as a file;
+ * a bare name loads shapeDir()/<name>.json. Unknown presets throw
+ * ConfigError listing the available names. Thread-safe.
+ */
+const MachineShape &resolveShape(const std::string &name_or_path);
+
+/** Apply @p shape to @p spec (sets the mode and the machine config). */
+void applyShape(RunSpec &spec, const MachineShape &shape);
+
+/** A RunSpec running @p shape with all other knobs at defaults. */
+RunSpec toRunSpec(const MachineShape &shape);
+
+/** Convenience: resolveShape + toRunSpec. */
+RunSpec specForShape(const std::string &name_or_path);
+
+/** One file's lint verdict (error empty = clean). */
+struct ShapeLint
+{
+    std::string file;
+    std::string name;
+    std::string error;
+};
+
+/**
+ * Validate every shape file in shapeDir(): it must parse, pass
+ * MsConfig/ScalarConfig::validate(), carry a "name" matching its
+ * basename, and round-trip (parse → serialize → parse) to an equal
+ * value. Returns one entry per file; CI's config-lint gate fails on
+ * any non-empty error.
+ */
+std::vector<ShapeLint> lintShapeDir();
+
+} // namespace msim::config
+
+#endif // MSIM_CONFIG_MACHINE_SHAPE_HH

@@ -1,0 +1,112 @@
+#include "core/ms_config.hh"
+
+#include "common/logging.hh"
+#include "core/scalar_processor.hh"
+
+namespace msim {
+
+namespace {
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+[[noreturn]] void
+bad(const char *scope, const char *field, const std::string &why)
+{
+    fatal(scope, " config: ", field, ": ", why);
+}
+
+/** Shared geometry rules of the Cache timing model. */
+void
+checkCacheGeometry(const char *scope, const char *field,
+                   std::size_t size_bytes, std::size_t block_bytes)
+{
+    if (size_bytes == 0)
+        bad(scope, field, "size must be non-zero");
+    if (!isPow2(block_bytes))
+        bad(scope, field,
+            "block size " + std::to_string(block_bytes) +
+                " is not a power of two");
+    if (size_bytes % block_bytes != 0 ||
+        !isPow2(size_bytes / block_bytes))
+        bad(scope, field,
+            "size " + std::to_string(size_bytes) +
+                " must be a power-of-two multiple of the " +
+                std::to_string(block_bytes) + "-byte block");
+}
+
+void
+checkPu(const char *scope, const PuConfig &pu)
+{
+    if (pu.issueWidth == 0 || pu.issueWidth > 16)
+        bad(scope, "pu.issueWidth", "must be in [1, 16]");
+    if (pu.windowSize == 0)
+        bad(scope, "pu.windowSize", "must be non-zero");
+    if (pu.fetchBufferSize == 0)
+        bad(scope, "pu.fetchBufferSize", "must be non-zero");
+    if (pu.branchPredictorEntries == 0 ||
+        !isPow2(pu.branchPredictorEntries))
+        bad(scope, "pu.branchPredictorEntries",
+            "must be a non-zero power of two");
+}
+
+void
+checkBus(const char *scope, const MemoryBus::Params &bus)
+{
+    if (bus.firstBeatLatency == 0)
+        bad(scope, "bus.firstBeatLatency", "must be non-zero");
+    if (bus.beatWords == 0)
+        bad(scope, "bus.beatWords", "must be non-zero");
+}
+
+} // namespace
+
+void
+MsConfig::validate() const
+{
+    if (numUnits == 0)
+        bad("ms", "numUnits", "need at least one processing unit");
+    if (numUnits > 64)
+        bad("ms", "numUnits",
+            std::to_string(numUnits) + " exceeds the 64-unit limit");
+    checkPu("ms", pu);
+    checkCacheGeometry("ms", "icache", icache.sizeBytes,
+                       icache.blockBytes);
+    if (effectiveBanks() > 1024)
+        bad("ms", "numBanks",
+            "effective bank count " +
+                std::to_string(effectiveBanks()) +
+                " exceeds the 1024-bank limit");
+    checkCacheGeometry("ms", "dcache", bankSizeBytes, blockBytes);
+    if (arbEntriesPerBank == 0)
+        bad("ms", "arbEntriesPerBank",
+            "ARB needs at least one entry per bank");
+    if (predictor != "pas" && predictor != "last" &&
+        predictor != "static")
+        bad("ms", "predictor",
+            "unknown kind '" + predictor +
+                "' (expected pas, last or static)");
+    if (rasEntries == 0)
+        bad("ms", "rasEntries",
+            "return address stack needs at least one entry");
+    if (descCacheEntries == 0)
+        bad("ms", "descCacheEntries",
+            "descriptor cache needs at least one entry");
+    checkBus("ms", bus);
+}
+
+void
+ScalarConfig::validate() const
+{
+    checkPu("scalar", pu);
+    checkCacheGeometry("scalar", "icache", icache.sizeBytes,
+                       icache.blockBytes);
+    checkCacheGeometry("scalar", "dcache", dcache.sizeBytes,
+                       dcache.blockBytes);
+    checkBus("scalar", bus);
+}
+
+} // namespace msim

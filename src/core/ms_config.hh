@@ -85,6 +85,18 @@ struct MsConfig
     {
         return numBanks != 0 ? numBanks : 2 * numUnits;
     }
+
+    /**
+     * Check every field for internal consistency and throw
+     * FatalError with a "ms config: <field>: <why>" message on the
+     * first violation: zero units, non-power-of-two block sizes or
+     * cache geometry, a zero-entry ARB, an unknown predictor kind…
+     * MultiscalarProcessor calls this at construction so a bad
+     * configuration fails with a clear diagnostic instead of a
+     * downstream assert, and the declarative shape layer
+     * (src/config) runs the same check on every parsed shape.
+     */
+    void validate() const;
 };
 
 } // namespace msim

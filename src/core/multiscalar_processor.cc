@@ -14,7 +14,7 @@ MultiscalarProcessor::MultiscalarProcessor(const Program &program,
                                            const MsConfig &config)
     : program_(program), config_(config), acct_(config.numUnits)
 {
-    fatalIf(config.numUnits == 0, "need at least one processing unit");
+    config.validate();
     mem_.loadProgram(program);
     coreStats_ = &stats_.group("core");
     if (config.trace.enabled) {

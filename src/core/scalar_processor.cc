@@ -11,6 +11,7 @@ ScalarProcessor::ScalarProcessor(const Program &program,
                                  const ScalarConfig &config)
     : program_(program), config_(config), acct_(1)
 {
+    config.validate();
     mem_.loadProgram(program);
     if (config.trace.enabled) {
         tracer_ = std::make_unique<Tracer>(config.trace);

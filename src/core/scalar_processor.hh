@@ -41,6 +41,14 @@ struct ScalarConfig
 
     /** Cycle-exact fast-forward (see MsConfig::fastForward). */
     bool fastForward = true;
+
+    /**
+     * Consistency check in the spirit of MsConfig::validate():
+     * throws FatalError with a "scalar config: <field>: <why>"
+     * message on bad pipeline widths or cache geometry. Called at
+     * ScalarProcessor construction and on every parsed scalar shape.
+     */
+    void validate() const;
 };
 
 /** The scalar baseline machine. */

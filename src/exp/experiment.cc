@@ -1,6 +1,7 @@
 #include "exp/experiment.hh"
 
 #include "common/logging.hh"
+#include "config/machine_shape.hh"
 
 namespace msim::exp {
 
@@ -17,6 +18,16 @@ Experiment::add(const std::string &cell_name,
     cell.scale = scale;
     cell.spec = spec;
     cells_.push_back(std::move(cell));
+}
+
+void
+Experiment::addShape(const std::string &cell_name,
+                     const std::string &workload,
+                     const std::string &shape_name_or_file,
+                     unsigned scale)
+{
+    add(cell_name, workload,
+        config::specForShape(shape_name_or_file), scale);
 }
 
 std::size_t

@@ -45,6 +45,17 @@ class Experiment
              const std::string &workload, const RunSpec &spec,
              unsigned scale = 1);
 
+    /**
+     * Append a cell whose machine comes from a declarative shape
+     * (src/config): a preset name from the shipped shapes/ directory
+     * or a path to a shape file. ConfigError on unknown or malformed
+     * shapes.
+     */
+    void addShape(const std::string &cell_name,
+                  const std::string &workload,
+                  const std::string &shape_name_or_file,
+                  unsigned scale = 1);
+
     const std::string &name() const { return name_; }
     const std::vector<Cell> &cells() const { return cells_; }
     std::size_t size() const { return cells_.size(); }

@@ -1,0 +1,293 @@
+#include "exp/explore.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/json.hh"
+#include "config/cost_model.hh"
+#include "config/machine_shape.hh"
+#include "exp/report.hh"
+
+namespace msim::exp {
+
+namespace {
+
+std::string
+pointId(unsigned units, unsigned hop, unsigned arb_entries,
+        const std::string &policy, const std::string &predictor)
+{
+    return "u" + std::to_string(units) + "-r" + std::to_string(hop) +
+           "-a" + std::to_string(arb_entries) +
+           (policy == "squash" ? "sq" : "st") + "-" + predictor;
+}
+
+std::string
+scalarCell(const std::string &workload)
+{
+    return "explore/scalar/" + workload;
+}
+
+std::string
+pointCell(const std::string &id, const std::string &workload)
+{
+    return "explore/" + id + "/" + workload;
+}
+
+/** The scalar baseline spec: scalar-1w with the base shape's PU. */
+RunSpec
+baselineSpec(const ExploreAxes &axes)
+{
+    RunSpec spec = config::specForShape("scalar-1w");
+    spec.scalar.pu =
+        config::resolveShape(axes.baseShape).ms.pu;
+    return spec;
+}
+
+std::vector<unsigned>
+uniqued(std::vector<unsigned> v)
+{
+    std::vector<unsigned> out;
+    for (unsigned x : v)
+        if (std::find(out.begin(), out.end(), x) == out.end())
+            out.push_back(x);
+    return out;
+}
+
+std::vector<std::string>
+uniqued(std::vector<std::string> v)
+{
+    std::vector<std::string> out;
+    for (const std::string &x : v)
+        if (std::find(out.begin(), out.end(), x) == out.end())
+            out.push_back(x);
+    return out;
+}
+
+} // namespace
+
+ExploreAxes
+ExploreAxes::smoke()
+{
+    ExploreAxes axes;
+    axes.units = {2, 4};
+    axes.ringHops = {1};
+    axes.arbEntries = {16, 256};
+    axes.arbPolicies = {"squash"};
+    axes.predictors = {"pas", "static"};
+    return axes;
+}
+
+std::size_t
+ExploreAxes::numPoints() const
+{
+    return units.size() * ringHops.size() * arbEntries.size() *
+           arbPolicies.size() * predictors.size();
+}
+
+std::vector<ExplorePoint>
+explorePoints(const ExploreAxes &axes)
+{
+    const MsConfig base = config::resolveShape(axes.baseShape).ms;
+    std::vector<ExplorePoint> points;
+    for (unsigned u : uniqued(axes.units)) {
+        for (unsigned hop : uniqued(axes.ringHops)) {
+            for (unsigned entries : uniqued(axes.arbEntries)) {
+                for (const std::string &policy :
+                     uniqued(axes.arbPolicies)) {
+                    for (const std::string &pred :
+                         uniqued(axes.predictors)) {
+                        ExplorePoint p;
+                        p.id = pointId(u, hop, entries, policy, pred);
+                        p.ms = base;
+                        p.ms.numUnits = u;
+                        p.ms.ringHopLatency = hop;
+                        p.ms.arbEntriesPerBank = entries;
+                        p.ms.arbFullPolicy =
+                            policy == "squash" ? ArbFullPolicy::kSquash
+                                               : ArbFullPolicy::kStall;
+                        p.ms.predictor = pred;
+                        p.ms.validate();
+                        points.push_back(std::move(p));
+                    }
+                }
+            }
+        }
+    }
+    return points;
+}
+
+void
+declareExplore(Experiment &e, const ExploreAxes &axes,
+               const std::vector<std::string> &workloads)
+{
+    const RunSpec scalar = baselineSpec(axes);
+    for (const std::string &w : workloads)
+        e.add(scalarCell(w), w, scalar);
+    for (const ExplorePoint &p : explorePoints(axes)) {
+        RunSpec spec;
+        spec.multiscalar = true;
+        spec.ms = p.ms;
+        for (const std::string &w : workloads)
+            e.add(pointCell(p.id, w), w, spec);
+    }
+}
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<double> &cost,
+               const std::vector<double> &speedup)
+{
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < cost.size(); ++i) {
+        if (speedup[i] <= 0.0)
+            continue;
+        bool dominated = false;
+        for (std::size_t j = 0; j < cost.size() && !dominated; ++j) {
+            if (j == i)
+                continue;
+            const bool no_worse = cost[j] <= cost[i] &&
+                                  speedup[j] >= speedup[i];
+            const bool better = cost[j] < cost[i] ||
+                                speedup[j] > speedup[i];
+            dominated = no_worse && better;
+        }
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (cost[a] != cost[b])
+                      return cost[a] < cost[b];
+                  return a < b;
+              });
+    return frontier;
+}
+
+ExploreReport
+computeExplore(const SweepResult &sweep, const ExploreAxes &axes,
+               const std::vector<std::string> &workloads)
+{
+    ExploreReport report;
+    report.baseShape = axes.baseShape;
+    report.workloads = workloads;
+
+    for (const ExplorePoint &p : explorePoints(axes)) {
+        ExplorePointResult r;
+        r.id = p.id;
+        r.ms = p.ms;
+        r.cost = config::hardwareCostProxy(p.ms);
+        double log_sum = 0.0;
+        bool ok = !workloads.empty();
+        for (const std::string &w : workloads) {
+            const CellResult &scalar = sweep.cell(scalarCell(w));
+            const CellResult &ms = sweep.cell(pointCell(p.id, w));
+            if (!scalar.ok || !ms.ok || ms.result.cycles == 0) {
+                r.perWorkload.push_back(0.0);
+                ok = false;
+                continue;
+            }
+            const double s = double(scalar.result.cycles) /
+                             double(ms.result.cycles);
+            r.perWorkload.push_back(s);
+            log_sum += std::log(s);
+        }
+        r.speedup =
+            ok ? std::exp(log_sum / double(workloads.size())) : 0.0;
+        report.points.push_back(std::move(r));
+    }
+
+    std::vector<double> cost, speedup;
+    for (const ExplorePointResult &r : report.points) {
+        cost.push_back(r.cost);
+        speedup.push_back(r.speedup);
+    }
+    report.frontier = paretoFrontier(cost, speedup);
+    for (std::size_t i : report.frontier)
+        report.points[i].onFrontier = true;
+    return report;
+}
+
+void
+renderExploreReport(const ExploreReport &report, std::FILE *out)
+{
+    ReportTable grid("Design-space grid over " + report.baseShape +
+                     " (geomean speedup over scalar; cost in "
+                     "KB-equivalents)");
+    grid.header({"point", "units", "ring", "arb", "policy", "pred",
+                 "cost", "speedup", "frontier"});
+    for (const ExplorePointResult &r : report.points) {
+        grid.row({r.id, std::to_string(r.ms.numUnits),
+                  std::to_string(r.ms.ringHopLatency),
+                  std::to_string(r.ms.arbEntriesPerBank),
+                  r.ms.arbFullPolicy == ArbFullPolicy::kSquash
+                      ? "squash"
+                      : "stall",
+                  r.ms.predictor, ReportTable::num(r.cost, 1),
+                  ReportTable::num(r.speedup),
+                  r.onFrontier ? "*" : ""});
+    }
+    grid.print(out);
+
+    ReportTable front("Pareto frontier (cost ascending): the shapes "
+                      "nothing beats on both axes");
+    std::vector<std::string> head = {"point", "cost", "speedup"};
+    for (const std::string &w : report.workloads)
+        head.push_back(w);
+    front.header(head);
+    for (std::size_t i : report.frontier) {
+        const ExplorePointResult &r = report.points[i];
+        std::vector<std::string> row = {
+            r.id, ReportTable::num(r.cost, 1),
+            ReportTable::num(r.speedup)};
+        for (double s : r.perWorkload)
+            row.push_back(ReportTable::num(s));
+        front.row(std::move(row));
+    }
+    front.print(out);
+}
+
+void
+writeExploreJson(std::ostream &os, const ExploreReport &report)
+{
+    json::Value doc = json::Value::object();
+    doc.set("schema", json::Value("msim-explore-v1"));
+    doc.set("base_shape", json::Value(report.baseShape));
+    json::Value workloads = json::Value::array();
+    for (const std::string &w : report.workloads)
+        workloads.push(json::Value(w));
+    doc.set("workloads", std::move(workloads));
+
+    json::Value points = json::Value::array();
+    for (const ExplorePointResult &r : report.points) {
+        json::Value p = json::Value::object();
+        p.set("id", json::Value(r.id));
+        p.set("units", json::Value(r.ms.numUnits));
+        p.set("ring_hop_latency", json::Value(r.ms.ringHopLatency));
+        p.set("arb_entries_per_bank",
+              json::Value(r.ms.arbEntriesPerBank));
+        p.set("arb_full_policy",
+              json::Value(r.ms.arbFullPolicy == ArbFullPolicy::kSquash
+                              ? "squash"
+                              : "stall"));
+        p.set("predictor", json::Value(r.ms.predictor));
+        p.set("cost", json::Value(r.cost));
+        p.set("speedup", json::Value(r.speedup));
+        p.set("on_frontier", json::Value(r.onFrontier));
+        json::Value per = json::Value::object();
+        for (std::size_t i = 0; i < report.workloads.size(); ++i)
+            per.set(report.workloads[i],
+                    json::Value(i < r.perWorkload.size()
+                                    ? r.perWorkload[i]
+                                    : 0.0));
+        p.set("per_workload", std::move(per));
+        points.push(std::move(p));
+    }
+    doc.set("points", std::move(points));
+
+    json::Value frontier = json::Value::array();
+    for (std::size_t i : report.frontier)
+        frontier.push(json::Value(report.points[i].id));
+    doc.set("frontier", std::move(frontier));
+    os << doc.dump() << "\n";
+}
+
+} // namespace msim::exp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The design-space explorer: sweep the cross-product of machine-shape
+ * axes (units × ring hop latency × ARB geometry × task predictor) and
+ * rank every point by speedup over the scalar baseline against the
+ * hardware-cost proxy (src/config/cost_model.hh). The deliverable is
+ * the Pareto frontier — the shapes no other shape beats on both cost
+ * and speedup — rendered as a text report and as a msim-explore-v1
+ * JSON document alongside the raw msim-sweep-v1 cell rows.
+ *
+ * Axis points are applied on top of a base shape (paper-default by
+ * default), so exploration composes with any declarative machine
+ * description. The scalar baseline copies the base shape's per-unit
+ * pipeline (issue width, ordering) so speedups compare equal units.
+ *
+ * Shared by bench_explore (the canonical grid + CI smoke gate) and
+ * the msim-explore tool (ad-hoc axes from the command line).
+ */
+
+#ifndef MSIM_EXP_EXPLORE_HH
+#define MSIM_EXP_EXPLORE_HH
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/ms_config.hh"
+#include "exp/experiment.hh"
+#include "exp/scheduler.hh"
+
+namespace msim::exp {
+
+/** The explored axes, applied over a base machine shape. */
+struct ExploreAxes
+{
+    /** Shape preset or file the points are derived from. */
+    std::string baseShape = "paper-default";
+    std::vector<unsigned> units = {1, 2, 4, 8};
+    std::vector<unsigned> ringHops = {1, 2, 4};
+    std::vector<unsigned> arbEntries = {16, 64, 256};
+    std::vector<std::string> arbPolicies = {"squash"};
+    std::vector<std::string> predictors = {"pas", "last", "static"};
+
+    /** The reduced grid CI runs on every push. */
+    static ExploreAxes smoke();
+
+    /** Number of grid points (cells = points × workloads + scalars). */
+    std::size_t numPoints() const;
+};
+
+/** One grid point: its id and the full machine configuration. */
+struct ExplorePoint
+{
+    std::string id;  //!< e.g. "u4-r1-a64sq-pas"
+    MsConfig ms;
+};
+
+/** One evaluated grid point of the explore report. */
+struct ExplorePointResult
+{
+    std::string id;
+    MsConfig ms;
+    double cost = 0.0;
+    /** Geometric-mean speedup over the scalar baseline (0 = a cell
+     *  of this point failed; excluded from the frontier). */
+    double speedup = 0.0;
+    bool onFrontier = false;
+    /** Per-workload speedups, in report workload order. */
+    std::vector<double> perWorkload;
+};
+
+/** The computed explore report. */
+struct ExploreReport
+{
+    std::string baseShape;
+    std::vector<std::string> workloads;
+    std::vector<ExplorePointResult> points;  //!< grid order
+    /** Frontier point indices, cost ascending. */
+    std::vector<std::size_t> frontier;
+};
+
+/** Expand the axes into the full grid (deterministic order). */
+std::vector<ExplorePoint> explorePoints(const ExploreAxes &axes);
+
+/**
+ * Declare the explore cells: one "explore/scalar/<w>" baseline per
+ * workload plus one "explore/<id>/<w>" cell per (point, workload).
+ */
+void declareExplore(Experiment &e, const ExploreAxes &axes,
+                    const std::vector<std::string> &workloads);
+
+/** Evaluate a finished sweep into costs, speedups and the frontier. */
+ExploreReport computeExplore(const SweepResult &sweep,
+                             const ExploreAxes &axes,
+                             const std::vector<std::string> &workloads);
+
+/**
+ * Indices of the Pareto-optimal points over (cost ↓, speedup ↑),
+ * sorted by cost ascending. A point with speedup <= 0 never
+ * qualifies. Exposed for unit tests.
+ */
+std::vector<std::size_t>
+paretoFrontier(const std::vector<double> &cost,
+               const std::vector<double> &speedup);
+
+/** Render the grid and frontier as paper-style text tables. */
+void renderExploreReport(const ExploreReport &report,
+                         std::FILE *out = stdout);
+
+/** Write the msim-explore-v1 JSON document. */
+void writeExploreJson(std::ostream &os, const ExploreReport &report);
+
+} // namespace msim::exp
+
+#endif // MSIM_EXP_EXPLORE_HH

@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "server/json.hh"
+#include "common/json.hh"
 #include "server/protocol.hh"
 
 namespace msim::server {

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "config/machine_shape.hh"
 #include "trace/cycle_accounting.hh"
 
 namespace msim::server {
@@ -198,9 +199,20 @@ specFromJson(const json::Value *spec)
         return out;
     if (!spec->isObject())
         badRequest("'spec' must be an object");
+    // The declarative machine (a full msim-shape-v1 document) is
+    // applied first so the flat fields below can override it.
+    if (const json::Value *machine = spec->find("machine")) {
+        try {
+            config::applyShape(out, config::shapeFromJson(*machine));
+        } catch (const config::ConfigError &e) {
+            badRequest(std::string("'machine': ") + e.what());
+        }
+    }
     for (const auto &[key, value] : spec->entries()) {
         (void)value;
-        if (key == "multiscalar") {
+        if (key == "machine") {
+            // handled above
+        } else if (key == "multiscalar") {
             out.multiscalar = optionalBool(*spec, "multiscalar", true);
         } else if (key == "units") {
             out.ms.numUnits = unsigned(

@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "exp/experiment.hh"
-#include "server/json.hh"
+#include "common/json.hh"
 #include "sim/runner.hh"
 
 namespace msim::server {
@@ -155,8 +155,13 @@ Request parseRequest(const std::string &payload);
  * defaults). Understands: multiscalar, units, issue_width,
  * out_of_order, ring_hop_latency, arb_entries_per_bank,
  * arb_full_policy ("squash"/"stall"), predictor, defines, max_cycles,
- * check_output. Unknown spec fields are a kBadRequest error (typos
- * must not silently run a default machine).
+ * check_output, and a "machine" object holding a full msim-shape-v1
+ * document (src/config) — the same schema as the shipped shape files,
+ * so any declarative machine a client can describe on disk it can
+ * submit inline. The machine object is applied first and the flat
+ * fields override it, so requests that carry both stay consistent.
+ * Unknown spec fields and malformed machine objects are a kBadRequest
+ * error (typos must not silently run a default machine).
  */
 RunSpec specFromJson(const json::Value *spec);
 

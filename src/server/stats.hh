@@ -11,7 +11,7 @@
 #include <atomic>
 #include <cstdint>
 
-#include "server/json.hh"
+#include "common/json.hh"
 
 namespace msim::server {
 

@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Tests for the declarative machine-shape layer (src/config): strict
+ * parsing with dotted-path diagnostics, canonical round-trip
+ * identity, preset resolution, equivalence of the paper-default shape
+ * with the default-constructed configs (including identical simulated
+ * cycles), the hardware-cost proxy, and the explorer's Pareto
+ * frontier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "config/cost_model.hh"
+#include "config/machine_shape.hh"
+#include "exp/explore.hh"
+#include "sim/runner.hh"
+#include "workloads/workload.hh"
+
+namespace msim {
+namespace {
+
+using config::ConfigError;
+using config::MachineShape;
+
+/** Expect parseShape(text) to throw with the given dotted path. */
+void
+expectParseError(const std::string &text, const std::string &path,
+                 const std::string &reason_substr = "")
+{
+    try {
+        config::parseShape(text);
+        FAIL() << "no ConfigError for: " << text;
+    } catch (const ConfigError &e) {
+        EXPECT_EQ(e.path, path) << e.what();
+        if (!reason_substr.empty()) {
+            EXPECT_NE(e.reason.find(reason_substr), std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shipped presets.
+// ---------------------------------------------------------------------
+
+TEST(Shapes, ShippedPresetsAllParseAndRoundTrip)
+{
+    const std::vector<std::string> names = config::listShapeNames();
+    ASSERT_GE(names.size(), 30u) << "shape dir " << config::shapeDir();
+    for (const std::string &name : names) {
+        SCOPED_TRACE(name);
+        const MachineShape &shape = config::resolveShape(name);
+        EXPECT_EQ(shape.name, name);
+        // parse → serialize → parse is the identity.
+        const MachineShape again =
+            config::parseShape(config::shapeToJson(shape).dump());
+        EXPECT_TRUE(config::shapeEquals(shape, again));
+        EXPECT_EQ(config::shapeToJson(shape).dump(),
+                  config::shapeToJson(again).dump());
+    }
+}
+
+TEST(Shapes, LintShippedDirIsClean)
+{
+    const std::vector<config::ShapeLint> lints = config::lintShapeDir();
+    ASSERT_GE(lints.size(), 30u);
+    for (const config::ShapeLint &l : lints)
+        EXPECT_EQ(l.error, "") << l.file;
+}
+
+TEST(Shapes, PaperDefaultIsTheDefaultConstructedConfig)
+{
+    // The shipped paper-default shape and a default-constructed
+    // MsConfig must serialize to the same canonical bytes — the
+    // paper's section 5.1 machine is the library default, and the
+    // shape file cannot drift from it.
+    MachineShape dflt;
+    dflt.name = "paper-default";
+    dflt.multiscalar = true;
+    EXPECT_EQ(config::shapeToJson(dflt).dump(),
+              config::shapeToJson(config::resolveShape("paper-default"))
+                  .dump());
+
+    MachineShape scalar;
+    scalar.name = "scalar-1w";
+    scalar.multiscalar = false;
+    EXPECT_EQ(config::shapeToJson(scalar).dump(),
+              config::shapeToJson(config::resolveShape("scalar-1w"))
+                  .dump());
+}
+
+TEST(Shapes, PaperDefaultReproducesDefaultGoldenCycles)
+{
+    // Simulated observables, not just serialized bytes: a run from
+    // the shape file must be bit-identical to a run from the default
+    // RunSpec (the configuration the golden-cycle snapshots pin).
+    for (const char *workload : {"example", "wc"}) {
+        SCOPED_TRACE(workload);
+        const workloads::Workload w = workloads::get(workload);
+
+        const RunResult viaShape =
+            runWorkload(w, config::specForShape("paper-default"));
+        const RunResult viaDefault = runWorkload(w, RunSpec{});
+        EXPECT_EQ(viaShape.cycles, viaDefault.cycles);
+        EXPECT_EQ(viaShape.instructions, viaDefault.instructions);
+        EXPECT_EQ(viaShape.tasksRetired, viaDefault.tasksRetired);
+        EXPECT_EQ(viaShape.tasksSquashed, viaDefault.tasksSquashed);
+        EXPECT_EQ(viaShape.output, viaDefault.output);
+
+        RunSpec scalarDefault;
+        scalarDefault.multiscalar = false;
+        const RunResult scalarShape =
+            runWorkload(w, config::specForShape("scalar-1w"));
+        const RunResult scalarDflt = runWorkload(w, scalarDefault);
+        EXPECT_EQ(scalarShape.cycles, scalarDflt.cycles);
+        EXPECT_EQ(scalarShape.instructions, scalarDflt.instructions);
+        EXPECT_EQ(scalarShape.output, scalarDflt.output);
+    }
+}
+
+TEST(Shapes, ResolveUnknownPresetListsAvailableNames)
+{
+    try {
+        config::resolveShape("no-such-shape");
+        FAIL() << "no ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("unknown shape preset"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("paper-default"),
+                  std::string::npos);
+    }
+}
+
+TEST(Shapes, ResolveShapeCachesByName)
+{
+    const MachineShape &a = config::resolveShape("ms8-1w");
+    const MachineShape &b = config::resolveShape("ms8-1w");
+    EXPECT_EQ(&a, &b);
+}
+
+// ---------------------------------------------------------------------
+// Strict parsing.
+// ---------------------------------------------------------------------
+
+TEST(ShapeParse, MinimalDocumentUsesDefaults)
+{
+    const MachineShape shape =
+        config::parseShape("{\"schema\": \"msim-shape-v1\"}");
+    EXPECT_TRUE(shape.multiscalar);
+    EXPECT_EQ(shape.ms.numUnits, MsConfig().numUnits);
+    EXPECT_EQ(shape.ms.arbEntriesPerBank, MsConfig().arbEntriesPerBank);
+}
+
+TEST(ShapeParse, WrongSchemaFails)
+{
+    expectParseError("{\"schema\": \"msim-shape-v2\"}", "schema",
+                     "expected");
+}
+
+TEST(ShapeParse, UnknownKeyFailsWithPath)
+{
+    expectParseError("{\"unitz\": 4}", "unitz", "unknown key");
+    expectParseError("{\"pu\": {\"width\": 2}}", "pu.width",
+                     "unknown key");
+    expectParseError("{\"arb\": {\"entries\": 4}}", "arb.entries",
+                     "unknown key");
+}
+
+TEST(ShapeParse, MisplacedKeysGetHints)
+{
+    // dcache.size_bytes exists for scalar shapes only; the error must
+    // point at the multiscalar spelling.
+    expectParseError("{\"dcache\": {\"size_bytes\": 8192}}",
+                     "dcache.size_bytes", "bank_size_bytes");
+    // units on a scalar shape gets a kind hint.
+    expectParseError("{\"multiscalar\": false, \"units\": 4}", "units",
+                     "single unit");
+    expectParseError(
+        "{\"multiscalar\": false, \"predictor\": {\"kind\": \"pas\"}}",
+        "predictor", "no task predictor");
+}
+
+TEST(ShapeParse, DuplicateKeyFails)
+{
+    expectParseError("{\"units\": 4, \"units\": 8}", "units",
+                     "duplicate");
+}
+
+TEST(ShapeParse, OutOfRangeGeometryFails)
+{
+    expectParseError("{\"units\": 0}", "units", "must be in [1, 64]");
+    expectParseError("{\"units\": 65}", "units", "must be in [1, 64]");
+    expectParseError("{\"arb\": {\"entries_per_bank\": 0}}",
+                     "arb.entries_per_bank", "must be in");
+    expectParseError("{\"pu\": {\"issue_width\": 17}}",
+                     "pu.issue_width", "must be in [1, 16]");
+    expectParseError("{\"units\": -1}", "units", "non-negative");
+    expectParseError("{\"units\": 2.5}", "units", "integer");
+    expectParseError("{\"units\": \"four\"}", "units", "integer");
+}
+
+TEST(ShapeParse, BadEnumValuesFail)
+{
+    expectParseError("{\"arb\": {\"full_policy\": \"wait\"}}",
+                     "arb.full_policy", "squash");
+    expectParseError("{\"predictor\": {\"kind\": \"oracle\"}}",
+                     "predictor.kind", "pas");
+}
+
+TEST(ShapeParse, ValidateRejectsNonPowerOfTwoBlocks)
+{
+    // Parsed values in range but geometrically invalid: the
+    // MsConfig::validate() pass runs on every parsed shape.
+    expectParseError("{\"dcache\": {\"block_bytes\": 48}}", "",
+                     "power of two");
+    expectParseError("{\"icache\": {\"size_bytes\": 3000}}", "",
+                     "power-of-two multiple");
+}
+
+TEST(ShapeParse, NumBanksZeroIsTheDefaultingMarker)
+{
+    const MachineShape shape = config::parseShape(
+        "{\"units\": 8, \"dcache\": {\"num_banks\": 0}}");
+    EXPECT_EQ(shape.ms.numBanks, 0u);
+    EXPECT_EQ(shape.ms.effectiveBanks(), 16u);
+
+    const MachineShape fixed = config::parseShape(
+        "{\"units\": 8, \"dcache\": {\"num_banks\": 4}}");
+    EXPECT_EQ(fixed.ms.effectiveBanks(), 4u);
+}
+
+TEST(ShapeParse, MalformedJsonBecomesConfigError)
+{
+    expectParseError("{\"units\": }", "(document)");
+    expectParseError("", "(document)");
+}
+
+TEST(ShapeParse, LoadShapeFileAnchorsErrorsOnTheFile)
+{
+    const std::string path = ::testing::TempDir() + "/bad-shape.json";
+    {
+        std::ofstream out(path);
+        out << "{\"unitz\": 4}";
+    }
+    try {
+        config::loadShapeFile(path);
+        FAIL() << "no ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_EQ(e.path, "unitz");
+        EXPECT_NE(e.reason.find(path), std::string::npos) << e.what();
+    }
+    std::remove(path.c_str());
+
+    try {
+        config::loadShapeFile("/nonexistent/shape.json");
+        FAIL() << "no ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(e.reason.find("cannot open"), std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------
+// RunSpec application.
+// ---------------------------------------------------------------------
+
+TEST(ShapeSpec, ApplyShapeSetsModeAndMachine)
+{
+    const RunSpec ms = config::specForShape("ms8-2w-ooo");
+    EXPECT_TRUE(ms.multiscalar);
+    EXPECT_EQ(ms.ms.numUnits, 8u);
+    EXPECT_EQ(ms.ms.pu.issueWidth, 2u);
+    EXPECT_TRUE(ms.ms.pu.outOfOrder);
+
+    const RunSpec sc = config::specForShape("scalar-2w");
+    EXPECT_FALSE(sc.multiscalar);
+    EXPECT_EQ(sc.scalar.pu.issueWidth, 2u);
+    // Run-control knobs stay at the library defaults.
+    EXPECT_EQ(sc.maxCycles, RunSpec{}.maxCycles);
+    EXPECT_TRUE(sc.checkOutput);
+}
+
+// ---------------------------------------------------------------------
+// The hardware-cost proxy.
+// ---------------------------------------------------------------------
+
+TEST(CostModel, MonotoneInTheExploredAxes)
+{
+    MsConfig base;
+    const double c0 = config::hardwareCostProxy(base);
+    EXPECT_GT(c0, 0.0);
+
+    MsConfig more_units = base;
+    more_units.numUnits = 8;
+    EXPECT_GT(config::hardwareCostProxy(more_units), c0);
+
+    MsConfig more_arb = base;
+    more_arb.arbEntriesPerBank = 1024;
+    EXPECT_GT(config::hardwareCostProxy(more_arb), c0);
+
+    MsConfig wider = base;
+    wider.pu.issueWidth = 2;
+    EXPECT_GT(config::hardwareCostProxy(wider), c0);
+
+    // Predictor cost ordering: pas > last > static.
+    MsConfig last = base;
+    last.predictor = "last";
+    MsConfig stat = base;
+    stat.predictor = "static";
+    EXPECT_GT(c0, config::hardwareCostProxy(last));
+    EXPECT_GT(config::hardwareCostProxy(last),
+              config::hardwareCostProxy(stat));
+}
+
+// ---------------------------------------------------------------------
+// The Pareto frontier.
+// ---------------------------------------------------------------------
+
+TEST(Pareto, KeepsOnlyNonDominatedPoints)
+{
+    //              A     B     C     D
+    // cost:       10    20    30    40
+    // speedup:   1.0   2.0   1.5   2.0
+    // C is dominated by B (cheaper, faster); D by B (same speedup,
+    // cheaper); frontier = {A, B}, cost ascending.
+    const std::vector<std::size_t> f = exp::paretoFrontier(
+        {10, 20, 30, 40}, {1.0, 2.0, 1.5, 2.0});
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_EQ(f[0], 0u);
+    EXPECT_EQ(f[1], 1u);
+}
+
+TEST(Pareto, FailedPointsNeverQualify)
+{
+    // Speedup 0 marks a failed grid point: excluded even when cheap.
+    const std::vector<std::size_t> f =
+        exp::paretoFrontier({1, 10}, {0.0, 1.5});
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_EQ(f[0], 1u);
+}
+
+TEST(Pareto, IdenticalPointsAllSurvive)
+{
+    // Equal (cost, speedup) pairs do not dominate each other.
+    const std::vector<std::size_t> f =
+        exp::paretoFrontier({5, 5}, {2.0, 2.0});
+    EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(Pareto, SortedByCostAscending)
+{
+    const std::vector<std::size_t> f = exp::paretoFrontier(
+        {40, 10, 20}, {4.0, 1.0, 2.0});
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[0], 1u);
+    EXPECT_EQ(f[1], 2u);
+    EXPECT_EQ(f[2], 0u);
+}
+
+// ---------------------------------------------------------------------
+// Explorer grid expansion.
+// ---------------------------------------------------------------------
+
+TEST(Explore, GridMatchesAxesAndDeduplicates)
+{
+    exp::ExploreAxes axes = exp::ExploreAxes::smoke();
+    EXPECT_EQ(exp::explorePoints(axes).size(), axes.numPoints());
+
+    axes.units = {2, 2, 4};
+    const std::vector<exp::ExplorePoint> points =
+        exp::explorePoints(axes);
+    EXPECT_EQ(points.size(), 2 * axes.ringHops.size() *
+                                 axes.arbEntries.size() *
+                                 axes.arbPolicies.size() *
+                                 axes.predictors.size());
+}
+
+TEST(Explore, PointIdsEncodeTheAxes)
+{
+    exp::ExploreAxes axes;
+    axes.units = {4};
+    axes.ringHops = {2};
+    axes.arbEntries = {32};
+    axes.arbPolicies = {"stall"};
+    axes.predictors = {"last"};
+    const std::vector<exp::ExplorePoint> points =
+        exp::explorePoints(axes);
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].id, "u4-r2-a32st-last");
+    EXPECT_EQ(points[0].ms.numUnits, 4u);
+    EXPECT_EQ(points[0].ms.ringHopLatency, 2u);
+    EXPECT_EQ(points[0].ms.arbEntriesPerBank, 32u);
+    EXPECT_EQ(points[0].ms.arbFullPolicy, ArbFullPolicy::kStall);
+    EXPECT_EQ(points[0].ms.predictor, "last");
+}
+
+TEST(Explore, ReportJsonCarriesTheFrontier)
+{
+    // A tiny real sweep end to end: declare, run, compute, serialize.
+    exp::ExploreAxes axes;
+    axes.units = {2, 4};
+    axes.ringHops = {1};
+    axes.arbEntries = {256};
+    axes.predictors = {"pas"};
+    const std::vector<std::string> workloads = {"example"};
+
+    exp::Experiment e("test-explore");
+    exp::declareExplore(e, axes, workloads);
+    EXPECT_EQ(e.size(), 1 + 2 * 1);
+    exp::SweepScheduler scheduler(2);
+    const exp::SweepResult sweep = scheduler.run(e);
+    ASSERT_EQ(sweep.failures(), 0u);
+
+    const exp::ExploreReport report =
+        exp::computeExplore(sweep, axes, workloads);
+    ASSERT_EQ(report.points.size(), 2u);
+    for (const exp::ExplorePointResult &p : report.points) {
+        EXPECT_GT(p.speedup, 0.0) << p.id;
+        EXPECT_GT(p.cost, 0.0) << p.id;
+    }
+    EXPECT_FALSE(report.frontier.empty());
+
+    std::ostringstream os;
+    exp::writeExploreJson(os, report);
+    const json::Value doc = json::Value::parse(os.str());
+    EXPECT_EQ(doc.find("schema")->asString(), "msim-explore-v1");
+    EXPECT_EQ(doc.find("points")->items().size(), 2u);
+    const json::Value *frontier = doc.find("frontier");
+    ASSERT_NE(frontier, nullptr);
+    EXPECT_EQ(frontier->items().size(), report.frontier.size());
+}
+
+} // namespace
+} // namespace msim

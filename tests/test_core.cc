@@ -399,6 +399,43 @@ ELSEWHERE:
     EXPECT_THROW(proc.run(10000), PanicError);
 }
 
+TEST(Core, InvalidConfigFailsAtConstruction)
+{
+    // validate() runs in the processor constructors, so a bad
+    // configuration dies with a clear "ms config: <field>: <why>"
+    // diagnostic before any cycle is simulated.
+    Program prog = ms(R"(
+        .text
+main:   li $2, 10
+        syscall
+        .task main
+        .endtask
+    )");
+
+    MsConfig zero_units;
+    zero_units.numUnits = 0;
+    EXPECT_THROW(MultiscalarProcessor(prog, zero_units), FatalError);
+
+    MsConfig odd_block;
+    odd_block.blockBytes = 48;
+    EXPECT_THROW(MultiscalarProcessor(prog, odd_block), FatalError);
+
+    MsConfig no_arb;
+    no_arb.arbEntriesPerBank = 0;
+    EXPECT_THROW(MultiscalarProcessor(prog, no_arb), FatalError);
+
+    MsConfig bad_pred;
+    bad_pred.predictor = "oracle";
+    EXPECT_THROW(MultiscalarProcessor(prog, bad_pred), FatalError);
+
+    assembler::AsmOptions sc_opts;
+    sc_opts.multiscalar = false;
+    Program sc_prog = assembler::assemble(kCallReturnSource, sc_opts);
+    ScalarConfig zero_width;
+    zero_width.pu.issueWidth = 0;
+    EXPECT_THROW(ScalarProcessor(sc_prog, zero_width), FatalError);
+}
+
 TEST(Core, ScalarAndMultiscalarMatchReferenceOnCallReturn)
 {
     assembler::AsmOptions sc_opts;

@@ -24,10 +24,11 @@
 #include <netinet/in.h>
 
 #include "bench/suites.hh"
+#include "config/machine_shape.hh"
 #include "exp/report.hh"
 #include "exp/scheduler.hh"
 #include "server/client.hh"
-#include "server/json.hh"
+#include "common/json.hh"
 #include "server/protocol.hh"
 #include "server/server.hh"
 #include "server/service.hh"
@@ -316,6 +317,14 @@ TEST(ParseRequest, RejectsEverythingMalformed)
     EXPECT_EQ(parseErrorCode("{\"type\":\"run\",\"workload\":\"wc\","
                              "\"spec\":{\"predictor\":\"oracle\"}}"),
               ErrCode::kBadRequest);
+    // A malformed inline machine object must be rejected the same
+    // way, not run on a default machine.
+    EXPECT_EQ(parseErrorCode("{\"type\":\"run\",\"workload\":\"wc\","
+                             "\"spec\":{\"machine\":{\"unitz\":4}}}"),
+              ErrCode::kBadRequest);
+    EXPECT_EQ(parseErrorCode("{\"type\":\"run\",\"workload\":\"wc\","
+                             "\"spec\":{\"machine\":{\"units\":0}}}"),
+              ErrCode::kBadRequest);
     EXPECT_EQ(parseErrorCode("{\"type\":\"sweep\"}"),
               ErrCode::kBadRequest);
     EXPECT_EQ(parseErrorCode("{\"type\":\"sweep\",\"cells\":[]}"),
@@ -358,6 +367,21 @@ TEST(SpecJson, RoundTripsSpecs)
     const RunSpec back = server::specFromJson(&wire);
     EXPECT_EQ(server::specToJson(back).dump(),
               server::specToJson(spec).dump());
+}
+
+TEST(SpecJson, MachineObjectAppliesFirstFlatKeysOverride)
+{
+    // The inline "machine" object (msim-shape-v1) seeds the spec;
+    // flat spec fields are applied afterwards and win.
+    const Value wire = Value::parse(
+        "{\"machine\":{\"schema\":\"msim-shape-v1\",\"units\":8,"
+        "\"ring_hop_latency\":4,\"predictor\":{\"kind\":\"last\"}},"
+        "\"ring_hop_latency\":2}");
+    const RunSpec spec = server::specFromJson(&wire);
+    EXPECT_TRUE(spec.multiscalar);
+    EXPECT_EQ(spec.ms.numUnits, 8u);
+    EXPECT_EQ(spec.ms.predictor, "last");
+    EXPECT_EQ(spec.ms.ringHopLatency, 2u);
 }
 
 // ---------------------------------------------------------------------
@@ -407,6 +431,34 @@ TEST(Service, RunMatchesDirectRunCompiledBitForBit)
                   server::resultToJson(direct).dump());
         EXPECT_EQ(response.find("id")->asInt(), 3);
     }
+}
+
+TEST(Service, InlineMachineRunMatchesDirect)
+{
+    // A run whose spec carries only an inline machine object must be
+    // bit-identical to the in-process run of the same shape.
+    server::SimService service(smallService());
+    config::MachineShape shape;
+    shape.multiscalar = true;
+    shape.ms.numUnits = 6;
+    shape.ms.ringHopLatency = 2;
+    shape.ms.arbEntriesPerBank = 32;
+    shape.ms.predictor = "last";
+
+    Value request = server::makeRunRequest("example", RunSpec{}, 1, 11);
+    Value specJson = Value::object();
+    specJson.set("machine", config::shapeToJson(shape));
+    *request.find("spec") = std::move(specJson);
+
+    const Value response = callService(service, request);
+    ASSERT_FALSE(server::isErrorFrame(response)) << response.dump();
+    ProgramCache cache;
+    const RunResult direct = runCompiled(
+        *cache.get("example", true, {}, 1), config::toRunSpec(shape));
+    ASSERT_NE(response.find("result"), nullptr);
+    EXPECT_EQ(response.find("result")->dump(),
+              server::resultToJson(direct).dump());
+    EXPECT_EQ(response.find("id")->asInt(), 11);
 }
 
 TEST(Service, BudgetExhaustionIsADistinctProtocolError)

@@ -13,14 +13,20 @@
  *   run <workload>            run one simulation, print the result
  *       [--scalar] [--units N] [--issue-width N] [--ooo]
  *       [--predictor pas|last|static] [--define NAME] [--scale N]
- *       [--max-cycles N] [--timeout-ms N]
+ *       [--max-cycles N] [--timeout-ms N] [--machine FILE]
+ *       --machine submits the msim-shape-v1 file as the request's
+ *       inline "machine" object, so the server simulates exactly the
+ *       declared shape (flat flags still override on top).
  *   sweep                     run the Table 2 suite as a server sweep
- *       [--smoke] [--json FILE] [--timeout-ms N]
+ *       [--smoke] [--json FILE] [--timeout-ms N] [--machine FILE]
  *       Streams each cell as it completes; --json reassembles the
  *       full msim-sweep-v1 report (cells in registration order).
+ *       With --machine the sweep instead runs scalar-baseline vs the
+ *       declared machine for each workload.
  *   selftest                  differential check: the same cells via
  *       [--smoke]             the server and via direct in-process
- *                             runs must be bit-identical
+ *                             runs must be bit-identical, including
+ *                             a custom inline-machine run
  *
  * Exit status: 0 on success, 1 on server/simulation errors (the
  * error frame is printed), 2 on usage errors.
@@ -36,6 +42,7 @@
 
 #include "bench/suites.hh"
 #include "common/logging.hh"
+#include "config/machine_shape.hh"
 #include "exp/report.hh"
 #include "exp/scheduler.hh"
 #include "server/client.hh"
@@ -130,13 +137,58 @@ table2Experiment(bool smoke)
     return e;
 }
 
+/** The --machine sweep: scalar baseline vs the declared shape. */
+msim::exp::Experiment
+machineExperiment(const std::string &machineFile, bool smoke)
+{
+    msim::exp::Experiment e(smoke ? "msim-client-machine-smoke"
+                                  : "msim-client-machine");
+    const msim::RunSpec custom =
+        msim::config::specForShape(machineFile);
+    for (const std::string &name : smoke ? msim::bench::kSmokeOrder
+                                         : msim::bench::kPaperOrder) {
+        e.addShape("machine/" + name + "/scalar", name, "scalar-1w");
+        e.add("machine/" + name + "/custom", name, custom);
+    }
+    return e;
+}
+
+/**
+ * Embed @p machine as the "machine" object of every named cell's spec
+ * in a sweep request, so the server parses the declarative shape
+ * through the same src/config path a local run uses.
+ */
+void
+attachMachineToCells(Value &request, const Value &machine,
+                     const std::string &nameSuffix)
+{
+    Value *cells = request.find("cells");
+    for (Value &cell : cells->items()) {
+        const Value *name = cell.find("name");
+        const std::string &n = name->asString();
+        if (n.size() >= nameSuffix.size() &&
+            n.compare(n.size() - nameSuffix.size(), nameSuffix.size(),
+                      nameSuffix) == 0)
+            cell.find("spec")->set("machine", machine);
+    }
+}
+
 int
 cmdSweep(Client &client, bool smoke, const std::string &jsonPath,
-         std::uint64_t timeoutMs)
+         std::uint64_t timeoutMs, const std::string &machineFile)
 {
-    const msim::exp::Experiment e = table2Experiment(smoke);
-    const Value request =
+    const msim::exp::Experiment e =
+        machineFile.empty() ? table2Experiment(smoke)
+                            : machineExperiment(machineFile, smoke);
+    Value request =
         msim::server::makeSweepRequest(e.cells(), 1, timeoutMs);
+    if (!machineFile.empty()) {
+        const msim::config::MachineShape shape =
+            msim::config::loadShapeFile(machineFile);
+        attachMachineToCells(request,
+                             msim::config::shapeToJson(shape),
+                             "/custom");
+    }
 
     std::printf("sweep: %zu cells\n", e.cells().size());
     const Client::SweepOutcome outcome = client.sweep(
@@ -242,6 +294,53 @@ cmdSelftest(Client &client, bool smoke)
         }
     }
 
+    // Inline machine: a custom shape no preset covers (6 units,
+    // 2-cycle ring hops, 32-entry stalling ARB, last-target
+    // predictor), submitted as the request's "machine" object, must
+    // produce the same bytes as running the identical shape
+    // in-process. This proves the server's src/config path and the
+    // local one are the same code.
+    {
+        msim::config::MachineShape shape;
+        shape.multiscalar = true;
+        shape.ms.numUnits = 6;
+        shape.ms.ringHopLatency = 2;
+        shape.ms.arbEntriesPerBank = 32;
+        shape.ms.arbFullPolicy = msim::ArbFullPolicy::kStall;
+        shape.ms.predictor = "last";
+        const msim::RunSpec spec = msim::config::toRunSpec(shape);
+
+        Value request =
+            msim::server::makeRunRequest("example", spec, 1, 9);
+        request.find("spec")->set(
+            "machine", msim::config::shapeToJson(shape));
+        const Value response = client.call(request);
+        if (msim::server::isErrorFrame(response)) {
+            std::fprintf(stderr,
+                         "selftest: machine run failed: %s\n",
+                         response.dump().c_str());
+            return 1;
+        }
+        auto compiled = cache.get("example", true, spec.defines, 1);
+        const msim::RunResult local =
+            msim::runCompiled(*compiled, spec);
+        const Value *remote = response.find("result");
+        const std::string localDump =
+            msim::server::resultToJson(local).dump();
+        if (remote == nullptr || remote->dump() != localDump) {
+            std::fprintf(
+                stderr,
+                "selftest: MISMATCH on example (inline machine)\n"
+                "  server: %s\n  local:  %s\n",
+                remote != nullptr ? remote->dump().c_str() : "absent",
+                localDump.c_str());
+            rc = 1;
+        } else {
+            std::printf("selftest: run example (inline machine) "
+                        "identical\n");
+        }
+    }
+
     // Sweep: every streamed cell row must match the same cell run by
     // the in-process SweepScheduler (wall clock aside).
     const msim::exp::Experiment e = table2Experiment(smoke);
@@ -294,6 +393,7 @@ main(int argc, char **argv)
     unsigned scale = 1;
     std::string predictor;
     std::string jsonPath;
+    std::string machineFile;
     std::set<std::string> defines;
     std::uint64_t maxCycles = 0;
     std::uint64_t timeoutMs = 0;
@@ -332,6 +432,8 @@ main(int argc, char **argv)
             timeoutMs = std::strtoull(value(), nullptr, 10);
         } else if (arg == "--json") {
             jsonPath = value();
+        } else if (arg == "--machine") {
+            machineFile = value();
         } else if (arg == "--smoke") {
             smoke = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -379,29 +481,45 @@ main(int argc, char **argv)
             if (workload.empty())
                 return usage();
             msim::RunSpec spec;
-            spec.multiscalar = multiscalar;
+            if (!machineFile.empty()) {
+                // The shape is both validated locally (clear errors
+                // before any network round trip) and embedded in the
+                // request as the inline "machine" object below.
+                spec = msim::config::specForShape(machineFile);
+            } else {
+                spec.multiscalar = multiscalar;
+            }
             spec.defines = defines;
-            if (multiscalar) {
+            if (spec.multiscalar) {
                 if (units != 0)
                     spec.ms.numUnits = units;
                 if (issueWidth != 0)
                     spec.ms.pu.issueWidth = issueWidth;
-                spec.ms.pu.outOfOrder = outOfOrder;
+                if (outOfOrder)
+                    spec.ms.pu.outOfOrder = true;
                 if (!predictor.empty())
                     spec.ms.predictor = predictor;
             } else {
                 if (issueWidth != 0)
                     spec.scalar.pu.issueWidth = issueWidth;
-                spec.scalar.pu.outOfOrder = outOfOrder;
+                if (outOfOrder)
+                    spec.scalar.pu.outOfOrder = true;
             }
             if (maxCycles != 0)
                 spec.maxCycles = maxCycles;
-            return report(client.call(msim::server::makeRunRequest(
-                workload, spec, scale, 1, timeoutMs)));
+            Value request = msim::server::makeRunRequest(
+                workload, spec, scale, 1, timeoutMs);
+            if (!machineFile.empty())
+                request.find("spec")->set(
+                    "machine",
+                    msim::config::shapeToJson(
+                        msim::config::loadShapeFile(machineFile)));
+            return report(client.call(request));
         }
 
         if (command == "sweep")
-            return cmdSweep(client, smoke, jsonPath, timeoutMs);
+            return cmdSweep(client, smoke, jsonPath, timeoutMs,
+                            machineFile);
         if (command == "selftest")
             return cmdSelftest(client, smoke);
 

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Ablation: the shared L2 hierarchy. Sweeps the L2 design space —
+ * capacity (64 KB / 256 KB / 1 MB), associativity (direct-mapped vs
+ * 8-way), non-blocking depth (1 vs 8 MSHRs per bank), and inclusion
+ * policy (NINE / inclusive / exclusive) — over the cache-stress
+ * workload family, under both the fast (10-cycle first beat) and
+ * slow (100-cycle) memory bus. The "off" column is the default
+ * L2-less 4-unit machine, so every number is the latency-tolerance
+ * benefit the L2 buys at that design point.
+ */
+
+#include "bench/suites.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace msim::bench;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--smoke")
+            smoke = true;
+    return benchMain(
+        argc, argv, "l2", [smoke](auto &e) { declareL2(e, smoke); },
+        [smoke](const auto &r) { reportL2(r, smoke); });
+}

@@ -505,6 +505,104 @@ reportSoftware(const SweepResult &r)
     t.print();
 }
 
+// ---------------------------------------------------------------------
+// Ablation: the shared L2 hierarchy (size x associativity x MSHRs x
+// inclusion, under the fast and slow memory bus).
+// ---------------------------------------------------------------------
+
+/** The cache-stress family: the workloads the L2 exists for. */
+inline const std::vector<std::string> kL2Benches = {
+    "pointer_chase", "stream_triad", "gups", "stencil", "thrash",
+};
+
+/** Reduced stress set for --smoke. */
+inline const std::vector<std::string> kL2SmokeBenches = {
+    "pointer_chase", "thrash",
+};
+
+/**
+ * The L2 design points, as shipped shape presets. "off" is the
+ * default 4-unit machine without an L2; the rest vary one axis at a
+ * time around the 256 KB / 8-way / 4-bank / 8-MSHR NINE centre.
+ */
+inline const std::vector<std::pair<std::string, std::string>>
+    kL2Points = {
+        {"off", "ms4-1w"},
+        {"64k", "l2-64k"},
+        {"256k", "l2-256k"},
+        {"1m", "l2-1m"},
+        {"256k-a1", "l2-256k-a1"},
+        {"256k-mshr1", "l2-256k-mshr1"},
+        {"256k-incl", "l2-256k-inclusive"},
+        {"256k-excl", "l2-256k-exclusive"},
+};
+
+/** Smoke subset of the design points. */
+inline const std::vector<std::pair<std::string, std::string>>
+    kL2SmokePoints = {
+        {"off", "ms4-1w"},
+        {"256k", "l2-256k"},
+        {"256k-mshr1", "l2-256k-mshr1"},
+};
+
+inline void
+declareL2(Experiment &e, bool smoke = false)
+{
+    const auto &names = smoke ? kL2SmokeBenches : kL2Benches;
+    const auto &points = smoke ? kL2SmokePoints : kL2Points;
+    for (const std::string &name : names) {
+        for (bool slow : {false, true}) {
+            const std::string mem = slow ? "slowmem" : "fastmem";
+            for (const auto &[tag, shape] : points) {
+                // Machine from the shipped preset; the slow-memory
+                // regime raises the bus's first-beat latency to 100
+                // cycles (same knob as the throughput benches).
+                RunSpec spec = config::specForShape(shape);
+                if (slow)
+                    spec.ms.bus.firstBeatLatency = 100;
+                e.add("l2/" + name + "/" + mem + "/" + tag, name,
+                      spec);
+            }
+        }
+    }
+}
+
+inline void
+reportL2(const SweepResult &r, bool smoke = false)
+{
+    const auto &names = smoke ? kL2SmokeBenches : kL2Benches;
+    const auto &points = smoke ? kL2SmokePoints : kL2Points;
+    for (bool slow : {false, true}) {
+        const std::string mem = slow ? "slowmem" : "fastmem";
+        ReportTable t("Ablation: shared L2 (" + mem +
+                      "; speedup over the L2-less 4-unit machine)");
+        std::vector<std::string> head = {"Program"};
+        for (const auto &[tag, shape] : points) {
+            (void)shape;
+            head.push_back(tag == "off" ? "off (cyc)" : tag);
+        }
+        t.header(head);
+        for (const std::string &name : names) {
+            const auto &off =
+                r.result("l2/" + name + "/" + mem + "/off");
+            std::vector<std::string> row = {name};
+            for (const auto &[tag, shape] : points) {
+                (void)shape;
+                if (tag == "off") {
+                    row.push_back(ReportTable::count(off.cycles));
+                    continue;
+                }
+                const auto &ms =
+                    r.result("l2/" + name + "/" + mem + "/" + tag);
+                row.push_back(ReportTable::num(double(off.cycles) /
+                                               double(ms.cycles)));
+            }
+            t.row(std::move(row));
+        }
+        t.print();
+    }
+}
+
 } // namespace msim::bench
 
 #endif // MSIM_BENCH_SUITES_HH

@@ -47,6 +47,15 @@ hardwareCostProxy(const MsConfig &ms)
     cost += double(ms.rasEntries) / 64.0;
     // Descriptor cache entries cache a task header (~32 bytes).
     cost += double(ms.descCacheEntries) / 32.0;
+    // Shared L2: the SRAM array dominates; way comparators/muxes
+    // scale with associativity per bank, and each MSHR is a small
+    // CAM entry with a pending-transfer register.
+    if (ms.l2) {
+        cost += double(ms.l2->sizeBytes) / 1024.0;
+        cost += 0.5 * double(ms.l2->assoc) * double(ms.l2->numBanks);
+        cost += double(ms.l2->mshrsPerBank) *
+                double(ms.l2->numBanks) / 4.0;
+    }
     return cost;
 }
 

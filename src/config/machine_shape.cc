@@ -146,6 +146,73 @@ cacheHandler(Cache::Params &cache)
     };
 }
 
+/**
+ * The "l2" key: null disables the shared L2 (the default machine),
+ * an object configures it. Writes through @p l2 (an optional owned
+ * by MsConfig or ScalarConfig).
+ */
+FieldHandler
+l2Handler(std::optional<L2Params> &l2)
+{
+    return [&l2](const json::Value &v, const std::string &p) {
+        if (v.isNull()) {
+            l2.reset();
+            return;
+        }
+        l2.emplace();
+        L2Params &params = *l2;
+        walkObject(
+            v, p,
+            {
+                {"size_bytes",
+                 [&params](const json::Value &f, const std::string &fp) {
+                     params.sizeBytes =
+                         std::size_t(requireUint(f, fp, 1, 1u << 30));
+                 }},
+                {"assoc",
+                 [&params](const json::Value &f, const std::string &fp) {
+                     params.assoc = unsigned(requireUint(f, fp, 1, 64));
+                 }},
+                {"block_bytes",
+                 [&params](const json::Value &f, const std::string &fp) {
+                     params.blockBytes =
+                         std::size_t(requireUint(f, fp, 1, 1u << 20));
+                 }},
+                {"hit_latency",
+                 [&params](const json::Value &f, const std::string &fp) {
+                     params.hitLatency =
+                         unsigned(requireUint(f, fp, 0, 1024));
+                 }},
+                {"num_banks",
+                 [&params](const json::Value &f, const std::string &fp) {
+                     params.numBanks =
+                         unsigned(requireUint(f, fp, 1, 64));
+                 }},
+                {"mshrs_per_bank",
+                 [&params](const json::Value &f, const std::string &fp) {
+                     params.mshrsPerBank =
+                         unsigned(requireUint(f, fp, 1, 1024));
+                 }},
+                {"inclusion",
+                 [&params](const json::Value &f, const std::string &fp) {
+                     const std::string s = requireString(f, fp);
+                     if (s == "inclusive")
+                         params.inclusion = L2Inclusion::kInclusive;
+                     else if (s == "exclusive")
+                         params.inclusion = L2Inclusion::kExclusive;
+                     else if (s == "nine")
+                         params.inclusion = L2Inclusion::kNine;
+                     else
+                         fail(fp, "must be \"inclusive\", "
+                                  "\"exclusive\" or \"nine\", got \"" +
+                                      s + "\"");
+                 }},
+            },
+            {{"bank_size_bytes",
+              "the L2 is sized by size_bytes split over num_banks"}});
+    };
+}
+
 FieldHandler
 busHandler(MemoryBus::Params &bus)
 {
@@ -285,9 +352,14 @@ parseMultiscalar(const json::Value &doc, MachineShape &shape)
                       }},
                  });
          }},
+        {"l2", l2Handler(ms.l2)},
         {"bus", busHandler(ms.bus)},
     };
-    walkObject(doc, "", fields);
+    const std::map<std::string, std::string> hints = {
+        {"mshrs_per_bank", "belongs in the l2 block"},
+        {"inclusion", "belongs in the l2 block"},
+    };
+    walkObject(doc, "", fields, hints);
 }
 
 void
@@ -305,6 +377,7 @@ parseScalar(const json::Value &doc, MachineShape &shape)
          }},
         {"icache", cacheHandler(sc.icache)},
         {"dcache", cacheHandler(sc.dcache)},
+        {"l2", l2Handler(sc.l2)},
         {"bus", busHandler(sc.bus)},
     };
     const std::map<std::string, std::string> hints = {
@@ -312,6 +385,8 @@ parseScalar(const json::Value &doc, MachineShape &shape)
         {"ring_hop_latency", "scalar shapes have no forwarding ring"},
         {"arb", "scalar shapes have no ARB"},
         {"predictor", "scalar shapes have no task predictor"},
+        {"mshrs_per_bank", "belongs in the l2 block"},
+        {"inclusion", "belongs in the l2 block"},
     };
     walkObject(doc, "", fields, hints);
 }
@@ -338,6 +413,27 @@ cacheToJson(const Cache::Params &cache)
     v.set("size_bytes", json::Value(std::uint64_t(cache.sizeBytes)));
     v.set("block_bytes", json::Value(std::uint64_t(cache.blockBytes)));
     v.set("hit_latency", json::Value(cache.hitLatency));
+    return v;
+}
+
+json::Value
+l2ToJson(const std::optional<L2Params> &l2)
+{
+    if (!l2)
+        return json::Value(nullptr);
+    json::Value v = json::Value::object();
+    v.set("size_bytes", json::Value(std::uint64_t(l2->sizeBytes)));
+    v.set("assoc", json::Value(l2->assoc));
+    v.set("block_bytes", json::Value(std::uint64_t(l2->blockBytes)));
+    v.set("hit_latency", json::Value(l2->hitLatency));
+    v.set("num_banks", json::Value(l2->numBanks));
+    v.set("mshrs_per_bank", json::Value(l2->mshrsPerBank));
+    const char *inclusion = "nine";
+    if (l2->inclusion == L2Inclusion::kInclusive)
+        inclusion = "inclusive";
+    else if (l2->inclusion == L2Inclusion::kExclusive)
+        inclusion = "exclusive";
+    v.set("inclusion", json::Value(inclusion));
     return v;
 }
 
@@ -429,12 +525,14 @@ shapeToJson(const MachineShape &shape)
         pred.set("descriptor_cache_entries",
                  json::Value(ms.descCacheEntries));
         v.set("predictor", std::move(pred));
+        v.set("l2", l2ToJson(ms.l2));
         v.set("bus", busToJson(ms.bus));
     } else {
         const ScalarConfig &sc = shape.scalar;
         v.set("pu", puToJson(sc.pu));
         v.set("icache", cacheToJson(sc.icache));
         v.set("dcache", cacheToJson(sc.dcache));
+        v.set("l2", l2ToJson(sc.l2));
         v.set("bus", busToJson(sc.bus));
     }
     return v;

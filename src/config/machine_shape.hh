@@ -6,7 +6,10 @@
  * A shape file names every knob of MsConfig (units, per-unit
  * pipeline, ring hop latency, icache and data bank geometry, ARB
  * entries and full policy, predictor kind with RAS and descriptor
- * cache sizes, bus parameters) or of the ScalarConfig baseline, with
+ * cache sizes, the optional shared L2 — "l2": null disables it,
+ * "l2": {size_bytes, assoc, block_bytes, hit_latency, num_banks,
+ * mshrs_per_bank, inclusion} enables it — and bus parameters) or of
+ * the ScalarConfig baseline (which takes the same "l2" key), with
  * library defaults for anything omitted. Parsing is strict: unknown
  * or duplicate keys, wrong types, and out-of-range values all throw
  * ConfigError carrying the dotted field path ("dcache.bank_size_bytes"),

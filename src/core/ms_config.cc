@@ -1,5 +1,7 @@
 #include "core/ms_config.hh"
 
+#include <initializer_list>
+
 #include "common/logging.hh"
 #include "core/scalar_processor.hh"
 
@@ -53,6 +55,47 @@ checkPu(const char *scope, const PuConfig &pu)
             "must be a non-zero power of two");
 }
 
+/**
+ * The optional shared L2. @p l1_block_bytes lists the block sizes of
+ * the L1s above it: the timing model maps L1 blocks 1:1 onto L2
+ * blocks (back-invalidation, MSHR merging), so they must agree.
+ */
+void
+checkL2(const char *scope, const L2Params &l2,
+        std::initializer_list<std::size_t> l1_block_bytes)
+{
+    if (l2.numBanks == 0 || l2.numBanks > 64)
+        bad(scope, "l2.numBanks", "must be in [1, 64]");
+    if (l2.assoc == 0 || l2.assoc > 64)
+        bad(scope, "l2.assoc", "must be in [1, 64]");
+    if (l2.mshrsPerBank == 0 || l2.mshrsPerBank > 1024)
+        bad(scope, "l2.mshrsPerBank", "must be in [1, 1024]");
+    if (!isPow2(l2.blockBytes))
+        bad(scope, "l2.blockBytes",
+            "block size " + std::to_string(l2.blockBytes) +
+                " is not a power of two");
+    for (std::size_t l1_block : l1_block_bytes) {
+        if (l2.blockBytes != l1_block)
+            bad(scope, "l2.blockBytes",
+                "L2 block size " + std::to_string(l2.blockBytes) +
+                    " must match the L1 block size " +
+                    std::to_string(l1_block));
+    }
+    if (l2.sizeBytes == 0 || l2.sizeBytes % l2.numBanks != 0)
+        bad(scope, "l2.sizeBytes",
+            "size " + std::to_string(l2.sizeBytes) +
+                " must divide evenly over " +
+                std::to_string(l2.numBanks) + " banks");
+    const std::size_t bank_bytes = l2.sizeBytes / l2.numBanks;
+    const std::size_t set_bytes = l2.blockBytes * l2.assoc;
+    if (bank_bytes % set_bytes != 0 ||
+        !isPow2(bank_bytes / set_bytes))
+        bad(scope, "l2.sizeBytes",
+            "each " + std::to_string(bank_bytes) +
+                "-byte bank must hold a power-of-two number of " +
+                std::to_string(set_bytes) + "-byte sets");
+}
+
 void
 checkBus(const char *scope, const MemoryBus::Params &bus)
 {
@@ -95,6 +138,8 @@ MsConfig::validate() const
     if (descCacheEntries == 0)
         bad("ms", "descCacheEntries",
             "descriptor cache needs at least one entry");
+    if (l2)
+        checkL2("ms", *l2, {icache.blockBytes, blockBytes});
     checkBus("ms", bus);
 }
 
@@ -106,6 +151,9 @@ ScalarConfig::validate() const
                        icache.blockBytes);
     checkCacheGeometry("scalar", "dcache", dcache.sizeBytes,
                        dcache.blockBytes);
+    if (l2)
+        checkL2("scalar", *l2,
+                {icache.blockBytes, dcache.blockBytes});
     checkBus("scalar", bus);
 }
 

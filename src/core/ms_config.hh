@@ -12,10 +12,12 @@
 #ifndef MSIM_CORE_MS_CONFIG_HH
 #define MSIM_CORE_MS_CONFIG_HH
 
+#include <optional>
 #include <string>
 
 #include "mem/bus.hh"
 #include "mem/cache.hh"
+#include "mem/l2_cache.hh"
 #include "pu/pu_config.hh"
 #include "trace/trace_config.hh"
 
@@ -52,6 +54,14 @@ struct MsConfig
     std::string predictor = "pas";
     unsigned rasEntries = 64;
     unsigned descCacheEntries = 1024;
+
+    /**
+     * Optional shared L2 between the L1s (per-unit icaches + data
+     * banks) and the memory bus; std::nullopt (the default, shape
+     * key "l2": null) reproduces the historical two-level-free
+     * machine bit for bit. See src/mem/l2_cache.hh.
+     */
+    std::optional<L2Params> l2;
 
     MemoryBus::Params bus;
 

@@ -47,7 +47,9 @@
 #include "mem/banked_dcache.hh"
 #include "mem/bus.hh"
 #include "mem/cache.hh"
+#include "mem/l2_cache.hh"
 #include "mem/main_memory.hh"
+#include "mem/mem_level.hh"
 #include "predict/descriptor_cache.hh"
 #include "predict/return_stack.hh"
 #include "predict/task_predictor.hh"
@@ -168,6 +170,9 @@ class MultiscalarProcessor : public PuContext
     CycleAccounting acct_;
     MainMemory mem_;
     std::unique_ptr<MemoryBus> bus_;
+    /** The L1s' next level: the shared L2, or the bus adapter. */
+    std::unique_ptr<L2Cache> l2_;
+    std::unique_ptr<BusMemLevel> busLevel_;
     std::vector<std::unique_ptr<Cache>> icaches_;
     std::unique_ptr<BankedDataCache> dcache_;
     std::unique_ptr<Arb> arb_;

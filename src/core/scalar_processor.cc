@@ -23,12 +23,32 @@ ScalarProcessor::ScalarProcessor(const Program &program,
     Tracer *tracer = tracer_.get();
     bus_ = std::make_unique<MemoryBus>(stats_.group("bus"), config.bus,
                                        tracer);
-    icache_ = std::make_unique<Cache>(stats_.group("icache"), *bus_,
+    MemLevel *l1next;
+    if (config.l2) {
+        l2_ = std::make_unique<L2Cache>(stats_.group("l2"), *bus_,
+                                        *config.l2, tracer);
+        l1next = l2_.get();
+        if (tracer_)
+            tracer_->threadName(kTidL2Base, "l2");
+    } else {
+        busLevel_ = std::make_unique<BusMemLevel>(*bus_);
+        l1next = busLevel_.get();
+    }
+    icache_ = std::make_unique<Cache>(stats_.group("icache"), *l1next,
                                       config.icache, tracer,
                                       kTidIcacheBase);
-    dcache_ = std::make_unique<Cache>(stats_.group("dcache"), *bus_,
+    dcache_ = std::make_unique<Cache>(stats_.group("dcache"), *l1next,
                                       config.dcache, tracer,
                                       kTidDcacheBase);
+    if (l2_) {
+        // Both scalar L1s address memory directly, so the global
+        // block address is their local one.
+        l2_->setBackInvalidate([this](Addr addr) {
+            const bool d0 = dcache_->invalidateBlock(addr);
+            const bool d1 = icache_->invalidateBlock(addr);
+            return d0 || d1;
+        });
+    }
     syscalls_ = std::make_unique<SyscallHandler>(
         [this](Addr a) { return std::uint8_t(mem_.read(a, 1)); },
         program.heapStart);
@@ -85,7 +105,14 @@ ScalarProcessor::run(Cycle max_cycles)
         // when it is quiescent until a known cycle the intervening
         // stall cycles can be bulk-accounted and skipped.
         if (fastForward_ && unit_->quiescentLastTick()) {
-            const Cycle next = unit_->nextEventCycle(now);
+            Cycle next = unit_->nextEventCycle(now);
+            // An in-flight L2 MSHR fill bounds the jump (the L2 is a
+            // call-time model, so this only shortens skips).
+            if (l2_) {
+                const Cycle l2next = l2_->nextEventCycle(now);
+                if (l2next < next)
+                    next = l2next;
+            }
             if (next > now + 1 && next != kCycleNever) {
                 const Cycle target = next < max_cycles ? next
                                                        : max_cycles;

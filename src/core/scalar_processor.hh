@@ -13,12 +13,15 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
 
 #include "common/stats.hh"
 #include "core/run_result.hh"
 #include "mem/bus.hh"
 #include "mem/cache.hh"
+#include "mem/l2_cache.hh"
 #include "mem/main_memory.hh"
+#include "mem/mem_level.hh"
 #include "program/program.hh"
 #include "pu/processing_unit.hh"
 #include "pu/pu_context.hh"
@@ -34,6 +37,10 @@ struct ScalarConfig
     PuConfig pu;
     Cache::Params icache{32 * 1024, 64, 1};
     Cache::Params dcache{64 * 1024, 64, 1};
+
+    /** Optional shared L2 (see MsConfig::l2); null = direct to bus. */
+    std::optional<L2Params> l2;
+
     MemoryBus::Params bus;
 
     /** Event tracing (off by default; see src/trace/). */
@@ -96,6 +103,9 @@ class ScalarProcessor : public PuContext
     CycleAccounting acct_;
     MainMemory mem_;
     std::unique_ptr<MemoryBus> bus_;
+    /** The L1s' next level: the shared L2, or the bus adapter. */
+    std::unique_ptr<L2Cache> l2_;
+    std::unique_ptr<BusMemLevel> busLevel_;
     std::unique_ptr<Cache> icache_;
     std::unique_ptr<Cache> dcache_;
     std::unique_ptr<SyscallHandler> syscalls_;

@@ -7,6 +7,8 @@
  * connects units to banks; each bank accepts one new access per cycle
  * and conflicting accesses queue (oldest first). Hits take 2 cycles
  * in multiscalar configurations and 1 cycle in the scalar baseline.
+ * Misses go to the next memory level — the shared bus, or the shared
+ * L2 when one is configured.
  */
 
 #ifndef MSIM_MEM_BANKED_DCACHE_HH
@@ -32,21 +34,22 @@ class BankedDataCache
         unsigned hitLatency = 2;
     };
 
-    BankedDataCache(StatRegistry &stats, MemoryBus &bus,
+    BankedDataCache(StatRegistry &stats, MemLevel &next,
                     const Params &params, Tracer *tracer = nullptr)
         : params_(params), bankBusyUntil_(params.numBanks, 0),
           tracer_(tracer)
     {
-        fatalIf(params.numBanks == 0, "need at least one data bank");
-        for (unsigned b = 0; b < params.numBanks; ++b) {
-            auto &group = stats.group("dcache" + std::to_string(b));
-            banks_.push_back(std::make_unique<Cache>(
-                group, bus,
-                Cache::Params{params.bankSizeBytes, params.blockBytes,
-                              params.hitLatency},
-                tracer, kTidDcacheBase + b));
-        }
-        xbarStats_ = &stats.group("crossbar");
+        init(stats, next);
+    }
+
+    /** Convenience: banks wired straight to the memory bus. */
+    BankedDataCache(StatRegistry &stats, MemoryBus &bus,
+                    const Params &params, Tracer *tracer = nullptr)
+        : ownedNext_(std::make_unique<BusMemLevel>(bus)),
+          params_(params), bankBusyUntil_(params.numBanks, 0),
+          tracer_(tracer)
+    {
+        init(stats, *ownedNext_);
     }
 
     /** @return the bank index an address maps to (block interleave). */
@@ -82,7 +85,8 @@ class BankedDataCache
         // Banks are pipelined: they accept one access per cycle.
         bankBusyUntil_[bank] = grant + 1;
         xbarStats_->add("accesses");
-        return banks_[bank]->access(grant, bankLocalAddr(addr), write);
+        return banks_[bank]->access(grant, bankLocalAddr(addr), write,
+                                    addr);
     }
 
     /**
@@ -100,6 +104,17 @@ class BankedDataCache
                offset;
     }
 
+    /**
+     * Drop the block at global address @p addr from its bank, if
+     * present (L2 back-invalidation). @return true when dirty.
+     */
+    bool
+    invalidateBlock(Addr addr)
+    {
+        return banks_[bankOf(addr)]->invalidateBlock(
+            bankLocalAddr(addr));
+    }
+
     /** Reset crossbar arbitration state (not tags or statistics). */
     void
     resetTiming()
@@ -111,6 +126,24 @@ class BankedDataCache
     unsigned hitLatency() const { return params_.hitLatency; }
 
   private:
+    void
+    init(StatRegistry &stats, MemLevel &next)
+    {
+        fatalIf(params_.numBanks == 0, "need at least one data bank");
+        for (unsigned b = 0; b < params_.numBanks; ++b) {
+            auto &group = stats.group("dcache" + std::to_string(b));
+            banks_.push_back(std::make_unique<Cache>(
+                group, next,
+                Cache::Params{params_.bankSizeBytes,
+                              params_.blockBytes,
+                              params_.hitLatency},
+                tracer_, kTidDcacheBase + b));
+        }
+        xbarStats_ = &stats.group("crossbar");
+    }
+
+    /** Only set by the MemoryBus convenience constructor. */
+    std::unique_ptr<MemLevel> ownedNext_;
     Params params_;
     std::vector<std::unique_ptr<Cache>> banks_;
     std::vector<Cycle> bankBusyUntil_;

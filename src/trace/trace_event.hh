@@ -40,6 +40,7 @@ inline constexpr std::uint32_t kTidRing = 66;
 inline constexpr std::uint32_t kTidArb = 67;
 inline constexpr std::uint32_t kTidIcacheBase = 70;   //!< + unit
 inline constexpr std::uint32_t kTidDcacheBase = 100;  //!< + bank
+inline constexpr std::uint32_t kTidL2Base = 68;       //!< shared L2
 
 /** One trace event, streamed to the active sink. */
 struct TraceEvent

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * gups: giga-updates-per-second analogue — random read-modify-write
+ * updates through a precomputed index stream.
+ *
+ * Each update loads a random word of a 32 KB table, adds a constant,
+ * and stores it back, so the access stream has no spatial or temporal
+ * locality and every level of the hierarchy sees near-worst-case hit
+ * rates. Multiscalar structure: one task applies a 64-update chunk;
+ * chunks are speculatively parallel and the ARB catches the (rare,
+ * deterministic) cases where two in-flight chunks touch the same
+ * word, so the committed result is always the sequential one.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace msim::workloads {
+
+namespace {
+
+constexpr unsigned kTableWords = 8192; // 32 KB table
+constexpr unsigned kUpdatesPerScale = 4096;
+
+const char *const kSource = R"(
+# ---- gups: random read-modify-write updates ----
+        .data
+NUPD:   .word 0
+IDX:    .space 32768              # byte offsets into TABLE
+TABLE:  .space 32768
+        .text
+
+main:
+        la   $20, IDX         !f
+        lw   $9, NUPD
+        sll  $9, $9, 2
+        addu $21, $20, $9     !f  # $21 = end of index stream
+        la   $22, TABLE       !f
+        li   $16, 0           !f  # checksum of updated values
+@ms     b    GUPS             !s
+
+@ms .task main
+@ms .targets GUPS
+@ms .create $16, $20, $21, $22
+@ms .endtask
+
+@ms .task GUPS
+@ms .targets GUPS:loop, GDONE
+@ms .create $16, $20
+@ms .endtask
+
+GUPS:
+        addu $20, $20, 256    !f  # chunk of 64 indices, forwarded
+        subu $8, $20, 256
+        li   $11, 0               # chunk checksum
+GUPD:
+        lw   $9, 0($8)            # byte offset into the table
+        addu $9, $9, $22
+        lw   $10, 0($9)
+        addu $10, $10, 12345      # the update
+        sw   $10, 0($9)
+        addu $11, $11, $10
+        addu $8, $8, 4
+        bne  $8, $20, GUPD
+        addu $16, $16, $11    !f
+        bne  $20, $21, GUPS   !s
+
+@ms .task GDONE
+@ms .endtask
+GDONE:
+        move $4, $16
+        li   $2, 1
+        syscall                   # print checksum
+        li   $4, 10
+        li   $2, 11
+        syscall                   # newline
+        li   $2, 10
+        syscall                   # exit
+)";
+
+} // namespace
+
+Workload
+makeGups(unsigned scale)
+{
+    fatalIf(scale > 2, "gups index stream supports scale <= 2");
+    Workload w;
+    w.name = "gups";
+    w.description = "random table updates, one task per 64-update "
+                    "chunk";
+    w.source = kSource;
+
+    const unsigned nupd = kUpdatesPerScale * scale;
+    Rng rng(16061);
+    std::vector<std::uint32_t> table(kTableWords);
+    for (auto &t : table)
+        t = std::uint32_t(rng.next());
+    std::vector<std::uint32_t> idx(nupd);
+    for (auto &i : idx)
+        i = std::uint32_t(rng.below(kTableWords)) * 4;
+
+    // Golden model: sequential replay, summing each updated value.
+    std::vector<std::uint32_t> shadow = table;
+    std::uint32_t sum = 0;
+    for (unsigned i = 0; i < nupd; ++i) {
+        std::uint32_t &word = shadow[idx[i] / 4];
+        word += 12345u;
+        sum += word;
+    }
+
+    w.init = [table, idx, nupd](MainMemory &mem, const Program &prog) {
+        mem.write(*prog.symbol("NUPD"), nupd, 4);
+        const Addr tb = *prog.symbol("TABLE");
+        for (unsigned i = 0; i < kTableWords; ++i)
+            mem.write(tb + Addr(4 * i), table[i], 4);
+        const Addr ib = *prog.symbol("IDX");
+        for (unsigned i = 0; i < nupd; ++i)
+            mem.write(ib + Addr(4 * i), idx[i], 4);
+    };
+
+    w.expected = std::to_string(std::int32_t(sum)) + "\n";
+    return w;
+}
+
+} // namespace msim::workloads

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * pointer_chase: dependent loads over a randomly permuted node pool.
+ *
+ * A table of 8-byte nodes {next, payload} is linked into one long
+ * random cycle (Sattolo shuffle), so every step of a walk is a
+ * data-dependent load to an unpredictable block — the classic
+ * latency-bound memory pattern that no L1 can help with once the
+ * pool outgrows it. Multiscalar structure: one task walks one chain
+ * of 64 steps from its own seed node; the seed-array pointer is
+ * forwarded at the top so independent chains overlap, turning serial
+ * miss latency into overlapped misses (the memory-latency-tolerance
+ * case the shared L2's MSHRs exist for).
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace msim::workloads {
+
+namespace {
+
+constexpr unsigned kNodesPerScale = 12288; // 96 KB of nodes per scale
+constexpr unsigned kChainsPerScale = 192;
+constexpr unsigned kSteps = 64;
+
+const char *const kSource = R"(
+# ---- pointer_chase: dependent loads over a random cycle ----
+        .data
+NSEEDS: .word 0
+SEEDS:  .space 2048               # chain start addresses
+TABLE:  .space 196608             # node pool: {next, payload} pairs
+        .text
+
+main:
+        la   $20, SEEDS       !f
+        lw   $9, NSEEDS
+        sll  $9, $9, 2
+        addu $21, $20, $9     !f  # $21 = end of seed array
+        li   $16, 0           !f  # payload checksum
+@ms     b    CHASE            !s
+
+@ms .task main
+@ms .targets CHASE
+@ms .create $16, $20, $21
+@ms .endtask
+
+@ms .task CHASE
+@ms .targets CHASE:loop, CHDONE
+@ms .create $16, $20
+@ms .endtask
+
+CHASE:
+        addu $20, $20, 4      !f  # seed pointer, forwarded early
+        lw   $8, -4($20)          # chain head node address
+        li   $9, 64               # steps per chain
+CHSTEP:
+        lw   $8, 0($8)            # node = node->next (dependent load)
+        subu $9, $9, 1
+        bgtz $9, CHSTEP
+        lw   $10, 4($8)           # payload of the final node
+        addu $16, $16, $10    !f
+        bne  $20, $21, CHASE  !s
+
+@ms .task CHDONE
+@ms .endtask
+CHDONE:
+        move $4, $16
+        li   $2, 1
+        syscall                   # print checksum
+        li   $4, 10
+        li   $2, 11
+        syscall                   # newline
+        li   $2, 10
+        syscall                   # exit
+)";
+
+} // namespace
+
+Workload
+makeChase(unsigned scale)
+{
+    fatalIf(scale > 2, "pointer_chase node pool supports scale <= 2");
+    Workload w;
+    w.name = "pointer_chase";
+    w.description = "dependent-load chains over a random cycle, "
+                    "one task per 64-step chain";
+    w.source = kSource;
+
+    const unsigned nodes = kNodesPerScale * scale;
+    const unsigned nseeds = kChainsPerScale * scale;
+
+    // Sattolo's shuffle links the pool into a single cycle, so a walk
+    // from any seed keeps visiting fresh, unpredictable blocks.
+    Rng rng(86028157);
+    std::vector<std::uint32_t> next(nodes);
+    for (unsigned i = 0; i < nodes; ++i)
+        next[i] = i;
+    for (unsigned i = nodes - 1; i > 0; --i)
+        std::swap(next[i], next[rng.below(i)]);
+    std::vector<std::uint32_t> seeds(nseeds);
+    for (auto &s : seeds)
+        s = std::uint32_t(rng.below(nodes));
+
+    // Golden model: walk each chain and sum the final payloads.
+    std::uint32_t sum = 0;
+    for (unsigned c = 0; c < nseeds; ++c) {
+        std::uint32_t idx = seeds[c];
+        for (unsigned s = 0; s < kSteps; ++s)
+            idx = next[idx];
+        sum += idx * 2654435761u;
+    }
+
+    w.init = [next, seeds, nodes, nseeds](MainMemory &mem,
+                                          const Program &prog) {
+        const Addr table = *prog.symbol("TABLE");
+        for (unsigned i = 0; i < nodes; ++i) {
+            mem.write(table + Addr(8 * i), table + Addr(8 * next[i]),
+                      4);
+            mem.write(table + Addr(8 * i) + 4, i * 2654435761u, 4);
+        }
+        const Addr sd = *prog.symbol("SEEDS");
+        for (unsigned i = 0; i < nseeds; ++i)
+            mem.write(sd + Addr(4 * i), table + Addr(8 * seeds[i]), 4);
+        mem.write(*prog.symbol("NSEEDS"), nseeds, 4);
+    };
+
+    w.expected = std::to_string(std::int32_t(sum)) + "\n";
+    return w;
+}
+
+} // namespace msim::workloads

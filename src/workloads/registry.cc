@@ -20,6 +20,11 @@ registry()
         {"sc", &makeSc},
         {"gcc", &makeGcc},
         {"xlisp", &makeXlisp},
+        {"pointer_chase", &makeChase},
+        {"stream_triad", &makeTriad},
+        {"gups", &makeGups},
+        {"stencil", &makeStencil},
+        {"thrash", &makeThrash},
     };
     return table;
 }

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * stencil: a 2-D five-point smoothing pass over a word grid,
+ * out[r][c] = (4*in[r][c] + north + south + west + east) >> 3.
+ *
+ * The sharing pattern is the interesting part: each row task streams
+ * its own row plus the rows above and below, so consecutive tasks
+ * re-read each other's input rows. With only per-bank L1s that reuse
+ * is partly wasted across banks; a shared L2 turns the neighbour-row
+ * re-reads into cheap hits. Multiscalar structure: one task per
+ * interior row with the row pointer forwarded at the top; output
+ * rows are disjoint, so tasks never conflict in the ARB.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace msim::workloads {
+
+namespace {
+
+constexpr unsigned kCols = 128;           // 512-byte rows
+constexpr unsigned kInteriorPerScale = 30;
+
+const char *const kSource = R"(
+# ---- stencil: five-point smoothing, one task per row ----
+        .data
+NROWS:  .word 0                   # number of interior rows
+GRIN:   .space 32768
+GROUT:  .space 32768
+        .text
+
+main:
+        la   $20, GRIN
+        addu $20, $20, 512    !f  # $20 = first interior row
+        lw   $9, NROWS
+        sll  $9, $9, 9            # rows * 512 bytes
+        addu $21, $20, $9     !f  # $21 = one past last interior row
+        la   $22, GROUT
+        la   $11, GRIN
+        subu $22, $22, $11    !f  # $22 = out - in displacement
+        li   $16, 0           !f  # checksum of the output grid
+@ms     b    STROW            !s
+
+@ms .task main
+@ms .targets STROW
+@ms .create $16, $20, $21, $22
+@ms .endtask
+
+@ms .task STROW
+@ms .targets STROW:loop, STDONE
+@ms .create $16, $20
+@ms .endtask
+
+STROW:
+        addu $20, $20, 512    !f  # row pointer, forwarded early
+        subu $8, $20, 512         # this row's base
+        addu $9, $8, 4            # first interior column
+        addu $10, $8, 508         # one past last interior column
+        li   $11, 0               # row checksum
+STCOL:
+        lw   $12, 0($9)           # centre
+        sll  $12, $12, 2          # 4 * centre
+        lw   $13, -512($9)        # north
+        addu $12, $12, $13
+        lw   $13, 512($9)         # south
+        addu $12, $12, $13
+        lw   $13, -4($9)          # west
+        addu $12, $12, $13
+        lw   $13, 4($9)           # east
+        addu $12, $12, $13
+        srl  $12, $12, 3
+        addu $13, $9, $22
+        sw   $12, 0($13)          # out[r][c]
+        addu $11, $11, $12
+        addu $9, $9, 4
+        bne  $9, $10, STCOL
+        addu $16, $16, $11    !f
+        bne  $20, $21, STROW  !s
+
+@ms .task STDONE
+@ms .endtask
+STDONE:
+        move $4, $16
+        li   $2, 1
+        syscall                   # print checksum
+        li   $4, 10
+        li   $2, 11
+        syscall                   # newline
+        li   $2, 10
+        syscall                   # exit
+)";
+
+} // namespace
+
+Workload
+makeStencil(unsigned scale)
+{
+    fatalIf(scale > 2, "stencil grid supports scale <= 2");
+    Workload w;
+    w.name = "stencil";
+    w.description = "five-point word-grid smoothing, one task per row";
+    w.source = kSource;
+
+    const unsigned interior = kInteriorPerScale * scale;
+    const unsigned rows = interior + 2;
+    Rng rng(271828);
+    std::vector<std::uint32_t> in(rows * kCols);
+    for (auto &v : in)
+        v = std::uint32_t(rng.next());
+
+    // Golden model: interior points only, all arithmetic mod 2^32.
+    std::uint32_t sum = 0;
+    for (unsigned r = 1; r <= interior; ++r)
+        for (unsigned c = 1; c + 1 < kCols; ++c) {
+            const std::uint32_t v =
+                (4u * in[r * kCols + c] + in[(r - 1) * kCols + c] +
+                 in[(r + 1) * kCols + c] + in[r * kCols + c - 1] +
+                 in[r * kCols + c + 1]) >>
+                3;
+            sum += v;
+        }
+
+    w.init = [in, interior, rows](MainMemory &mem,
+                                  const Program &prog) {
+        mem.write(*prog.symbol("NROWS"), interior, 4);
+        const Addr gb = *prog.symbol("GRIN");
+        for (unsigned i = 0; i < rows * kCols; ++i)
+            mem.write(gb + Addr(4 * i), in[i], 4);
+    };
+
+    w.expected = std::to_string(std::int32_t(sum)) + "\n";
+    return w;
+}
+
+} // namespace msim::workloads

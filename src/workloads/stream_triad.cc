@@ -1,0 +1,128 @@
+/**
+ * @file
+ * stream_triad: the STREAM triad kernel a[i] = b[i] + 3*c[i] over
+ * integer word arrays.
+ *
+ * Three streams (two read, one written) sweep arrays that together
+ * outgrow the aggregate L1, so steady state is bandwidth-bound: every
+ * block is fetched once, the output stream generates dirty evictions,
+ * and nothing is reused. Multiscalar structure: one task computes a
+ * 256-word chunk with the chunk pointer forwarded at the top, so the
+ * chunks' miss streams overlap — the measure of how much memory-level
+ * parallelism the hierarchy (bus alone vs. non-blocking L2 banks)
+ * can sustain.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace msim::workloads {
+
+namespace {
+
+constexpr unsigned kWordsPerScale = 6144; // 24 KB per array per scale
+
+const char *const kSource = R"(
+# ---- stream_triad: a[i] = b[i] + 3*c[i] over word streams ----
+        .data
+NWORDS: .word 0
+BUFA:   .space 49152
+BUFB:   .space 49152
+BUFC:   .space 49152
+        .text
+
+main:
+        la   $20, BUFA        !f
+        lw   $9, NWORDS
+        sll  $9, $9, 2
+        addu $21, $20, $9     !f  # $21 = end of A
+        la   $22, BUFB
+        subu $22, $22, $20    !f  # $22 = B - A displacement
+        la   $23, BUFC
+        subu $23, $23, $20    !f  # $23 = C - A displacement
+        li   $16, 0           !f  # checksum of the output stream
+@ms     b    TRIAD            !s
+
+@ms .task main
+@ms .targets TRIAD
+@ms .create $16, $20, $21, $22, $23
+@ms .endtask
+
+@ms .task TRIAD
+@ms .targets TRIAD:loop, TRDONE
+@ms .create $16, $20
+@ms .endtask
+
+TRIAD:
+        addu $20, $20, 1024   !f  # chunk pointer (256 words)
+        subu $8, $20, 1024        # scan pointer into A
+        li   $11, 0               # chunk checksum
+TRWORD:
+        addu $9, $8, $22
+        lw   $9, 0($9)            # b[i]
+        addu $10, $8, $23
+        lw   $10, 0($10)          # c[i]
+        sll  $12, $10, 1
+        addu $10, $10, $12        # 3*c[i]
+        addu $9, $9, $10
+        sw   $9, 0($8)            # a[i]
+        addu $11, $11, $9
+        addu $8, $8, 4
+        bne  $8, $20, TRWORD
+        addu $16, $16, $11    !f
+        bne  $20, $21, TRIAD  !s
+
+@ms .task TRDONE
+@ms .endtask
+TRDONE:
+        move $4, $16
+        li   $2, 1
+        syscall                   # print checksum
+        li   $4, 10
+        li   $2, 11
+        syscall                   # newline
+        li   $2, 10
+        syscall                   # exit
+)";
+
+} // namespace
+
+Workload
+makeTriad(unsigned scale)
+{
+    fatalIf(scale > 2, "stream_triad arrays support scale <= 2");
+    Workload w;
+    w.name = "stream_triad";
+    w.description = "integer STREAM triad, one task per 256-word chunk";
+    w.source = kSource;
+
+    const unsigned nwords = kWordsPerScale * scale;
+    Rng rng(424243);
+    std::vector<std::uint32_t> b(nwords), c(nwords);
+    for (unsigned i = 0; i < nwords; ++i) {
+        b[i] = std::uint32_t(rng.next());
+        c[i] = std::uint32_t(rng.next());
+    }
+
+    // Golden model: the sum of the output stream, mod 2^32.
+    std::uint32_t sum = 0;
+    for (unsigned i = 0; i < nwords; ++i)
+        sum += b[i] + 3u * c[i];
+
+    w.init = [b, c, nwords](MainMemory &mem, const Program &prog) {
+        mem.write(*prog.symbol("NWORDS"), nwords, 4);
+        const Addr bb = *prog.symbol("BUFB");
+        const Addr cb = *prog.symbol("BUFC");
+        for (unsigned i = 0; i < nwords; ++i) {
+            mem.write(bb + Addr(4 * i), b[i], 4);
+            mem.write(cb + Addr(4 * i), c[i], 4);
+        }
+    };
+
+    w.expected = std::to_string(std::int32_t(sum)) + "\n";
+    return w;
+}
+
+} // namespace msim::workloads

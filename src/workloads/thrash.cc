@@ -1,0 +1,125 @@
+/**
+ * @file
+ * thrash: repeated block-stride sweeps over a buffer larger than the
+ * aggregate L1 capacity.
+ *
+ * Each pass touches one word per 64-byte block of a 96 KB buffer, so
+ * with 64 KB of total L1 every pass after the first still misses L1
+ * on (nearly) every access — pure capacity thrash. A shared L2 that
+ * holds the buffer converts passes 2..N from bus-latency-bound to
+ * L2-hit-bound, which makes this the cleanest single-number probe of
+ * the L2's latency benefit. Multiscalar structure: the pass/chunk
+ * schedule is a precomputed pointer list (so the induction variable
+ * forwards trivially); one task sweeps one 16 KB chunk.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace msim::workloads {
+
+namespace {
+
+constexpr unsigned kBufBytes = 98304;  // 96 KB buffer
+constexpr unsigned kChunkBytes = 16384;
+constexpr unsigned kPassesPerScale = 3;
+
+const char *const kSource = R"(
+# ---- thrash: block-stride sweeps over a 96 KB buffer ----
+        .data
+NCHUNKS: .word 0
+CHUNKS: .space 512                # chunk base addresses, pass-major
+BUF:    .space 98304
+        .text
+
+main:
+        la   $20, CHUNKS      !f
+        lw   $9, NCHUNKS
+        sll  $9, $9, 2
+        addu $21, $20, $9     !f  # $21 = end of chunk list
+        li   $16, 0           !f  # checksum
+@ms     b    THRASH           !s
+
+@ms .task main
+@ms .targets THRASH
+@ms .create $16, $20, $21
+@ms .endtask
+
+@ms .task THRASH
+@ms .targets THRASH:loop, THDONE
+@ms .create $16, $20
+@ms .endtask
+
+THRASH:
+        addu $20, $20, 4      !f  # chunk pointer, forwarded early
+        lw   $8, -4($20)          # chunk base address
+        addu $9, $8, 16384        # chunk end
+        li   $11, 0               # chunk checksum
+THBLK:
+        lw   $10, 0($8)           # one word per 64-byte block
+        addu $11, $11, $10
+        addu $8, $8, 64
+        bne  $8, $9, THBLK
+        addu $16, $16, $11    !f
+        bne  $20, $21, THRASH !s
+
+@ms .task THDONE
+@ms .endtask
+THDONE:
+        move $4, $16
+        li   $2, 1
+        syscall                   # print checksum
+        li   $4, 10
+        li   $2, 11
+        syscall                   # newline
+        li   $2, 10
+        syscall                   # exit
+)";
+
+} // namespace
+
+Workload
+makeThrash(unsigned scale)
+{
+    fatalIf(scale > 4, "thrash chunk list supports scale <= 4");
+    Workload w;
+    w.name = "thrash";
+    w.description = "repeated block-stride sweeps over 96 KB, one "
+                    "task per 16 KB chunk";
+    w.source = kSource;
+
+    const unsigned chunks_per_pass = kBufBytes / kChunkBytes;
+    const unsigned nchunks = chunks_per_pass * kPassesPerScale * scale;
+    Rng rng(600851);
+    std::vector<std::uint32_t> buf(kBufBytes / 4);
+    for (auto &v : buf)
+        v = std::uint32_t(rng.next());
+
+    // Golden model: each pass re-reads the same one-word-per-block
+    // sample of the buffer.
+    std::uint32_t pass_sum = 0;
+    for (unsigned i = 0; i < kBufBytes / 4; i += 16)
+        pass_sum += buf[i];
+    const std::uint32_t sum =
+        pass_sum * std::uint32_t(kPassesPerScale * scale);
+
+    w.init = [buf, nchunks, chunks_per_pass](MainMemory &mem,
+                                             const Program &prog) {
+        mem.write(*prog.symbol("NCHUNKS"), nchunks, 4);
+        const Addr bb = *prog.symbol("BUF");
+        for (unsigned i = 0; i < buf.size(); ++i)
+            mem.write(bb + Addr(4 * i), buf[i], 4);
+        const Addr cb = *prog.symbol("CHUNKS");
+        for (unsigned i = 0; i < nchunks; ++i)
+            mem.write(cb + Addr(4 * i),
+                      bb + Addr((i % chunks_per_pass) * kChunkBytes),
+                      4);
+    };
+
+    w.expected = std::to_string(std::int32_t(sum)) + "\n";
+    return w;
+}
+
+} // namespace msim::workloads

@@ -67,6 +67,12 @@ Workload makeEspresso(unsigned scale);
 Workload makeSc(unsigned scale);
 Workload makeGcc(unsigned scale);
 Workload makeXlisp(unsigned scale);
+// Cache-stress family (memory-hierarchy studies).
+Workload makeChase(unsigned scale);
+Workload makeTriad(unsigned scale);
+Workload makeGups(unsigned scale);
+Workload makeStencil(unsigned scale);
+Workload makeThrash(unsigned scale);
 
 } // namespace msim::workloads
 

@@ -233,6 +233,77 @@ TEST(ShapeParse, NumBanksZeroIsTheDefaultingMarker)
     EXPECT_EQ(fixed.ms.effectiveBanks(), 4u);
 }
 
+TEST(ShapeParse, L2DefaultsToNullAndRoundTrips)
+{
+    // No "l2" key and an explicit null both mean: no L2, the
+    // historical machine bit for bit.
+    EXPECT_FALSE(config::parseShape("{}").ms.l2.has_value());
+    EXPECT_FALSE(config::parseShape("{\"l2\": null}").ms.l2);
+
+    const MachineShape shape = config::parseShape(
+        "{\"l2\": {\"size_bytes\": 65536, \"assoc\": 4, "
+        "\"hit_latency\": 9, \"num_banks\": 2, "
+        "\"mshrs_per_bank\": 3, \"inclusion\": \"exclusive\"}}");
+    ASSERT_TRUE(shape.ms.l2.has_value());
+    EXPECT_EQ(shape.ms.l2->sizeBytes, 65536u);
+    EXPECT_EQ(shape.ms.l2->assoc, 4u);
+    EXPECT_EQ(shape.ms.l2->hitLatency, 9u);
+    EXPECT_EQ(shape.ms.l2->numBanks, 2u);
+    EXPECT_EQ(shape.ms.l2->mshrsPerBank, 3u);
+    EXPECT_EQ(shape.ms.l2->inclusion, L2Inclusion::kExclusive);
+
+    // Canonical serialization round-trips both forms, and the
+    // L2-less canonical dump carries an explicit "l2": null.
+    const MachineShape again =
+        config::parseShape(config::shapeToJson(shape).dump());
+    EXPECT_TRUE(config::shapeEquals(shape, again));
+    EXPECT_NE(config::shapeToJson(config::parseShape("{}"))
+                  .dump()
+                  .find("\"l2\":null"),
+              std::string::npos);
+
+    // The scalar baseline takes the same block.
+    const MachineShape sc = config::parseShape(
+        "{\"multiscalar\": false, \"l2\": {\"size_bytes\": 131072}}");
+    ASSERT_TRUE(sc.scalar.l2.has_value());
+    EXPECT_EQ(sc.scalar.l2->sizeBytes, 131072u);
+    EXPECT_TRUE(config::shapeEquals(
+        sc, config::parseShape(config::shapeToJson(sc).dump())));
+}
+
+TEST(ShapeParse, L2InvalidValuesRejected)
+{
+    expectParseError("{\"l2\": {\"assoc\": 0}}", "l2.assoc",
+                     "must be in [1, 64]");
+    expectParseError("{\"l2\": {\"assoc\": 65}}", "l2.assoc",
+                     "must be in [1, 64]");
+    expectParseError("{\"l2\": {\"mshrs_per_bank\": 0}}",
+                     "l2.mshrs_per_bank", "must be in [1, 1024]");
+    expectParseError("{\"l2\": {\"inclusion\": \"both\"}}",
+                     "l2.inclusion", "inclusive");
+    expectParseError("{\"l2\": 4}", "l2", "");
+    // Geometrically invalid values reach MsConfig::validate().
+    expectParseError("{\"l2\": {\"block_bytes\": 128}}", "",
+                     "must match the L1 block size");
+    expectParseError("{\"l2\": {\"size_bytes\": 3001, "
+                     "\"num_banks\": 4}}",
+                     "", "must divide evenly");
+    expectParseError("{\"l2\": {\"size_bytes\": 3000, "
+                     "\"num_banks\": 4}}",
+                     "", "power-of-two number");
+}
+
+TEST(ShapeParse, L2MisplacedKeysGetHints)
+{
+    // The L2 knobs live in the "l2" block; top-level spellings and
+    // the L1's bank-size spelling get pointed home.
+    expectParseError("{\"mshrs_per_bank\": 4}", "mshrs_per_bank",
+                     "l2");
+    expectParseError("{\"inclusion\": \"nine\"}", "inclusion", "l2");
+    expectParseError("{\"l2\": {\"bank_size_bytes\": 4096}}",
+                     "l2.bank_size_bytes", "size_bytes");
+}
+
 TEST(ShapeParse, MalformedJsonBecomesConfigError)
 {
     expectParseError("{\"units\": }", "(document)");
@@ -313,6 +384,16 @@ TEST(CostModel, MonotoneInTheExploredAxes)
     EXPECT_GT(c0, config::hardwareCostProxy(last));
     EXPECT_GT(config::hardwareCostProxy(last),
               config::hardwareCostProxy(stat));
+
+    // An L2 costs more than no L2, and cost is monotone in its size.
+    MsConfig l2_small = base;
+    l2_small.l2.emplace();
+    l2_small.l2->sizeBytes = 64 * 1024;
+    MsConfig l2_big = l2_small;
+    l2_big.l2->sizeBytes = 1024 * 1024;
+    EXPECT_GT(config::hardwareCostProxy(l2_small), c0);
+    EXPECT_GT(config::hardwareCostProxy(l2_big),
+              config::hardwareCostProxy(l2_small));
 }
 
 // ---------------------------------------------------------------------

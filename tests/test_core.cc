@@ -428,12 +428,65 @@ main:   li $2, 10
     bad_pred.predictor = "oracle";
     EXPECT_THROW(MultiscalarProcessor(prog, bad_pred), FatalError);
 
+    MsConfig l2_block_mismatch;
+    l2_block_mismatch.l2.emplace();
+    l2_block_mismatch.l2->blockBytes = 128;  // L1 blocks are 64
+    EXPECT_THROW(MultiscalarProcessor(prog, l2_block_mismatch),
+                 FatalError);
+
+    MsConfig l2_no_mshrs;
+    l2_no_mshrs.l2.emplace();
+    l2_no_mshrs.l2->mshrsPerBank = 0;
+    EXPECT_THROW(MultiscalarProcessor(prog, l2_no_mshrs), FatalError);
+
     assembler::AsmOptions sc_opts;
     sc_opts.multiscalar = false;
     Program sc_prog = assembler::assemble(kCallReturnSource, sc_opts);
     ScalarConfig zero_width;
     zero_width.pu.issueWidth = 0;
     EXPECT_THROW(ScalarProcessor(sc_prog, zero_width), FatalError);
+}
+
+TEST(Core, L2WaitCyclesLandInMemWaitAndSumStaysExact)
+{
+    // A block-stride load loop: every access is an L1 miss, so the
+    // unit spends most of its time waiting on the hierarchy. The
+    // wait must be charged to mem_wait and the exact-accounting
+    // invariant (sum == cycles x units) must survive the L2's extra
+    // latency contributions.
+    const char *const src = R"(
+        .data
+BUF:    .space 8448
+        .text
+main:   la   $20, BUF
+        addu $21, $20, 8192
+LOOP:   lw   $8, 0($20)
+        addu $20, $20, 64
+        bne  $20, $21, LOOP
+        li   $2, 10
+        syscall
+        .task main
+        .endtask
+    )";
+
+    MsConfig with_l2;
+    with_l2.l2.emplace();
+    with_l2.bus.firstBeatLatency = 100;
+    const RunResult r = run(src, with_l2);
+    ASSERT_TRUE(r.exited);
+    EXPECT_EQ(r.accounting.sum(), r.cycles * r.accounting.numUnits);
+    EXPECT_GT(r.accounting[CycleCat::kMemWait], 0u);
+
+    // Slowing only the L2 hit path must show up as more mem_wait
+    // (not leak into another category or break the invariant).
+    MsConfig slow_l2 = with_l2;
+    slow_l2.l2->hitLatency += 40;
+    const RunResult s = run(src, slow_l2);
+    ASSERT_TRUE(s.exited);
+    EXPECT_EQ(s.accounting.sum(), s.cycles * s.accounting.numUnits);
+    EXPECT_GT(s.cycles, r.cycles);
+    EXPECT_GT(s.accounting[CycleCat::kMemWait],
+              r.accounting[CycleCat::kMemWait]);
 }
 
 TEST(Core, ScalarAndMultiscalarMatchReferenceOnCallReturn)

@@ -157,20 +157,30 @@ struct Case
 {
     std::string workload;
     bool multiscalar;
+    /** True = 10x first-beat bus latency (memory-bound regime). */
+    bool slowmem = false;
 };
 
 class GoldenCycles : public ::testing::TestWithParam<Case>
 {
 };
 
-/** The pinned configuration: library defaults for either machine. */
+/**
+ * The pinned configuration: library defaults for either machine,
+ * optionally with the slow-memory bus (first beat 100 cycles instead
+ * of 10 — the latency-tolerance design point of the L2 ablation).
+ */
 RunSpec
-pinnedSpec(bool multiscalar, bool fast_forward)
+pinnedSpec(bool multiscalar, bool fast_forward, bool slowmem)
 {
     RunSpec spec;
     spec.multiscalar = multiscalar;
     spec.ms.fastForward = fast_forward;
     spec.scalar.fastForward = fast_forward;
+    if (slowmem) {
+        spec.ms.bus.firstBeatLatency = 100;
+        spec.scalar.bus.firstBeatLatency = 100;
+    }
     return spec;
 }
 
@@ -179,9 +189,10 @@ TEST_P(GoldenCycles, FastForwardIsCycleExactAndMatchesSnapshot)
     const Case &c = GetParam();
     const workloads::Workload w = workloads::get(c.workload);
 
-    const RunResult on = runWorkload(w, pinnedSpec(c.multiscalar, true));
+    const RunResult on =
+        runWorkload(w, pinnedSpec(c.multiscalar, true, c.slowmem));
     const RunResult off =
-        runWorkload(w, pinnedSpec(c.multiscalar, false));
+        runWorkload(w, pinnedSpec(c.multiscalar, false, c.slowmem));
 
     // The fast-forward must be invisible in every observable.
     EXPECT_EQ(on.cycles, off.cycles);
@@ -214,8 +225,9 @@ TEST_P(GoldenCycles, FastForwardIsCycleExactAndMatchesSnapshot)
     EXPECT_EQ(off.accounting.sum(),
               off.cycles * off.accounting.numUnits);
 
-    const std::string key =
-        c.workload + (c.multiscalar ? "/ms4" : "/scalar");
+    const std::string key = c.workload +
+                            (c.multiscalar ? "/ms4" : "/scalar") +
+                            (c.slowmem ? "-slowmem" : "");
     GoldenEntry measured;
     measured.cycles = on.cycles;
     measured.instructions = on.instructions;
@@ -238,6 +250,14 @@ TEST_P(GoldenCycles, FastForwardIsCycleExactAndMatchesSnapshot)
     EXPECT_EQ(measured.tasksSquashed, it->second.tasksSquashed) << key;
 }
 
+/** The memory-bound workloads also snapshot the slowmem regime. */
+bool
+isCacheStress(const std::string &name)
+{
+    return name == "pointer_chase" || name == "stream_triad" ||
+           name == "gups" || name == "stencil" || name == "thrash";
+}
+
 std::vector<Case>
 allCases()
 {
@@ -246,6 +266,10 @@ allCases()
         (void)factory;
         cases.push_back({name, false});
         cases.push_back({name, true});
+        if (isCacheStress(name)) {
+            cases.push_back({name, false, true});
+            cases.push_back({name, true, true});
+        }
     }
     return cases;
 }
@@ -254,7 +278,8 @@ INSTANTIATE_TEST_SUITE_P(
     All, GoldenCycles, ::testing::ValuesIn(allCases()),
     [](const ::testing::TestParamInfo<Case> &info) {
         return info.param.workload +
-               (info.param.multiscalar ? "_ms4" : "_scalar");
+               (info.param.multiscalar ? "_ms4" : "_scalar") +
+               (info.param.slowmem ? "_slowmem" : "");
     });
 
 } // namespace

@@ -9,11 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hh"
 #include "common/stats.hh"
 #include "mem/banked_dcache.hh"
 #include "mem/bus.hh"
 #include "mem/cache.hh"
+#include "mem/l2_cache.hh"
 #include "mem/main_memory.hh"
+#include "mem/mem_level.hh"
 
 namespace msim {
 namespace {
@@ -181,6 +184,211 @@ TEST(BankedDcache, HitLatencyConfigurable)
     BankedDataCache d(reg, bus, {8, 8 * 1024, 64, 1});
     d.access(0, 0, false);
     EXPECT_EQ(d.access(50, 0, false), 51u);
+}
+
+// ---------------------------------------------------------------------
+// Shared L2: timing, LRU, write-back, MSHRs, inclusion invariants.
+// ---------------------------------------------------------------------
+
+/** One-bank L2 with @p assoc ways over @p size bytes. */
+L2Params
+l2Geom(std::size_t size, unsigned assoc, unsigned mshrs = 8,
+       L2Inclusion incl = L2Inclusion::kNine)
+{
+    L2Params p;
+    p.sizeBytes = size;
+    p.assoc = assoc;
+    p.blockBytes = 64;
+    p.hitLatency = 6;
+    p.numBanks = 1;
+    p.mshrsPerBank = mshrs;
+    p.inclusion = incl;
+    return p;
+}
+
+TEST(L2Cache, HitAndMissFillTiming)
+{
+    StatRegistry reg;
+    MemoryBus bus(reg.group("bus"));
+    L2Cache l2(reg.group("l2"), bus, l2Geom(8 * 1024, 8));
+    // Cold miss: block transfer (16 words = 13 cycles) + hit time.
+    EXPECT_EQ(l2.fetchBlock(0, 0x1000, 16), 13u + 6u);
+    // Hit after the fill retired: bank grant + hit latency only.
+    EXPECT_EQ(l2.fetchBlock(20, 0x1000, 16), 26u);
+    EXPECT_EQ(reg.group("l2").get("readMisses"), 1u);
+    EXPECT_EQ(reg.group("l2").get("readHits"), 1u);
+}
+
+TEST(L2Cache, LruVictimSelection)
+{
+    StatRegistry reg;
+    MemoryBus bus(reg.group("bus"));
+    // One set, two ways: 128 bytes over one bank.
+    L2Cache l2(reg.group("l2"), bus, l2Geom(128, 2));
+    l2.fetchBlock(0, 0x0000, 16);
+    l2.fetchBlock(100, 0x1000, 16);
+    // Re-touch the first block so the second becomes LRU.
+    l2.fetchBlock(200, 0x0000, 16);
+    l2.fetchBlock(300, 0x2000, 16);  // evicts the LRU way
+    EXPECT_TRUE(l2.probe(0x0000));
+    EXPECT_FALSE(l2.probe(0x1000));
+    EXPECT_TRUE(l2.probe(0x2000));
+    EXPECT_EQ(reg.group("l2").get("evictions"), 1u);
+    // Clean victim: no writeback traffic.
+    EXPECT_EQ(reg.group("l2").get("writebacks"), 0u);
+}
+
+TEST(L2Cache, DirtyWritebackOrdersBeforeFill)
+{
+    StatRegistry reg;
+    MemoryBus bus(reg.group("bus"));
+    // One set, one way: every distinct block conflicts.
+    L2Cache l2(reg.group("l2"), bus, l2Geom(64, 1));
+    // An L1 victim arrives: allocates dirty without a memory fetch.
+    EXPECT_EQ(l2.writebackBlock(0, 0x0000, 16), 6u);
+    EXPECT_TRUE(l2.probeDirty(0x0000));
+    EXPECT_EQ(reg.group("l2").get("writeMisses"), 1u);
+    // A conflicting fetch must write the dirty victim back first,
+    // then fill: bus does 10..23 (writeback) and 23..36 (fill).
+    EXPECT_EQ(l2.fetchBlock(10, 0x1000, 16), 36u + 6u);
+    EXPECT_EQ(reg.group("l2").get("writebacks"), 1u);
+    EXPECT_FALSE(l2.probe(0x0000));
+    EXPECT_TRUE(l2.probe(0x1000));
+}
+
+TEST(L2Cache, MshrAllocateMergeAndStallWhenFull)
+{
+    StatRegistry reg;
+    MemoryBus bus(reg.group("bus"));
+    L2Cache l2(reg.group("l2"), bus, l2Geom(512, 8, /*mshrs=*/2));
+    // Two primary misses claim both MSHRs; the bus serializes the
+    // fills (0..13 and 13..26).
+    EXPECT_EQ(l2.fetchBlock(0, 0x0000, 16), 19u);
+    EXPECT_EQ(l2.fetchBlock(1, 0x1000, 16), 32u);
+    // A secondary miss to an in-flight block merges with its MSHR:
+    // it completes with the fill (13) + hit latency, no bus traffic.
+    EXPECT_EQ(l2.fetchBlock(2, 0x0000, 16), 19u);
+    EXPECT_EQ(reg.group("l2").get("mshrMerges"), 1u);
+    // A third distinct miss finds the MSHR file full and stalls to
+    // the earliest retirement (cycle 13), then queues on the bus
+    // behind the second fill: 26..39 + hit latency.
+    EXPECT_EQ(l2.fetchBlock(3, 0x2000, 16), 45u);
+    EXPECT_EQ(reg.group("l2").get("mshrStalls"), 1u);
+    EXPECT_EQ(reg.group("l2").get("mshrStallCycles"), 10u);
+    EXPECT_EQ(reg.group("l2").get("readMisses"), 3u);
+}
+
+TEST(L2Cache, NextEventCoversInFlightFills)
+{
+    StatRegistry reg;
+    MemoryBus bus(reg.group("bus"));
+    L2Cache l2(reg.group("l2"), bus, l2Geom(8 * 1024, 8));
+    EXPECT_EQ(l2.nextEventCycle(0), kCycleNever);
+    l2.fetchBlock(0, 0x1000, 16);  // fill in flight until cycle 13
+    EXPECT_EQ(l2.nextEventCycle(5), 13u);
+    EXPECT_EQ(l2.nextEventCycle(13), kCycleNever);
+}
+
+TEST(L2Cache, BadGeometryRejected)
+{
+    StatRegistry reg;
+    MemoryBus bus(reg.group("bus"));
+    auto bad = [&](L2Params p) {
+        EXPECT_THROW(L2Cache(reg.group("l2"), bus, p), FatalError);
+    };
+    bad(l2Geom(0, 8));                   // no capacity
+    bad(l2Geom(8 * 1024, 0));            // no ways
+    bad(l2Geom(8 * 1024, 8, 0));         // no MSHRs
+    bad(l2Geom(1000, 1));                // non-power-of-two sets
+    L2Params split = l2Geom(8 * 1024, 8);
+    split.numBanks = 3;                  // size % banks != 0
+    bad(split);
+}
+
+/**
+ * Randomized inclusion-invariant property tests: a real (tag-only)
+ * L1 runs over a small L2 and a deterministic access string drives
+ * fills, evictions, and writebacks through both levels. After every
+ * access the policy's structural invariant must hold across the
+ * whole address universe, and the L2's occupancy must never exceed
+ * its capacity (the flat-memory model below both levels is the
+ * implicit oracle: timing requests are monotonic and every access
+ * completes).
+ */
+void
+runInclusionProperty(L2Inclusion incl)
+{
+    StatRegistry reg;
+    MemoryBus bus(reg.group("bus"));
+    // L2 smaller than the L1 in sets (4 sets x 2 ways vs 16 lines):
+    // back-invalidation and exclusive supply paths both fire often.
+    L2Cache l2(reg.group("l2"), bus, l2Geom(512, 2, 4, incl));
+    Cache l1(reg.group("l1"), l2, {1024, 64, 1});
+    l2.setBackInvalidate(
+        [&l1](Addr addr) { return l1.invalidateBlock(addr); });
+
+    constexpr unsigned kBlocks = 64;  // 4 KB address universe
+    Rng rng(20260807);
+    Cycle now = 0;
+    Cycle last_ready = 0;
+    for (unsigned i = 0; i < 2000; ++i) {
+        const Addr addr = Addr(rng.below(kBlocks)) * 64 +
+                          Addr(rng.below(16)) * 4;
+        const bool write = rng.below(4) == 0;
+        now += 1 + Cycle(rng.below(40));
+        const Cycle ready = l1.access(now, addr, write);
+        ASSERT_GE(ready, now);
+        (void)last_ready;
+        last_ready = ready;
+
+        ASSERT_LE(l2.validLines(), 8u) << "L2 over capacity";
+        for (unsigned b = 0; b < kBlocks; ++b) {
+            const Addr block = Addr(b) * 64;
+            switch (incl) {
+            case L2Inclusion::kInclusive:
+                // Every L1-resident block is L2-resident.
+                if (l1.probe(block)) {
+                    ASSERT_TRUE(l2.probe(block))
+                        << "inclusion hole at block " << b
+                        << " after access " << i;
+                }
+                break;
+            case L2Inclusion::kExclusive:
+                // A block never lives in both levels at once.
+                ASSERT_FALSE(l1.probe(block) && l2.probe(block))
+                    << "exclusive overlap at block " << b
+                    << " after access " << i;
+                break;
+            case L2Inclusion::kNine:
+                break;  // no structural invariant to violate
+            }
+        }
+    }
+    // The string must have exercised the interesting machinery.
+    EXPECT_GT(reg.group("l2").get("readMisses"), 0u);
+    EXPECT_GT(reg.group("l2").get("evictions"), 0u);
+    EXPECT_GT(reg.group("l1").get("writebacks"), 0u);
+    if (incl == L2Inclusion::kInclusive) {
+        EXPECT_GT(reg.group("l2").get("backInvalidations"), 0u);
+    }
+    if (incl == L2Inclusion::kExclusive) {
+        EXPECT_GT(reg.group("l2").get("exclusiveSupplies"), 0u);
+    }
+}
+
+TEST(L2Inclusion, InclusivePropertyHolds)
+{
+    runInclusionProperty(L2Inclusion::kInclusive);
+}
+
+TEST(L2Inclusion, ExclusivePropertyHolds)
+{
+    runInclusionProperty(L2Inclusion::kExclusive);
+}
+
+TEST(L2Inclusion, NinePropertyHolds)
+{
+    runInclusionProperty(L2Inclusion::kNine);
 }
 
 } // namespace

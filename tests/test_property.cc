@@ -412,6 +412,37 @@ TEST_P(RandomProgram, AllMachinesMatchTheReference)
         s.cfg.arbFullPolicy = ArbFullPolicy::kSquash;
         shapes.push_back(s);
     }
+    {
+        // A deliberately tiny inclusive L2 (1 KB direct-mapped, one
+        // bank, one MSHR): constant evictions, back-invalidations of
+        // live L1 lines, and MSHR stalls, all under speculation.
+        Shape s;
+        s.name = "4-unit tiny inclusive L2";
+        s.cfg.numUnits = 4;
+        s.cfg.writeSetOracle = true;
+        s.cfg.l2.emplace();
+        s.cfg.l2->sizeBytes = 1024;
+        s.cfg.l2->assoc = 1;
+        s.cfg.l2->numBanks = 1;
+        s.cfg.l2->mshrsPerBank = 1;
+        s.cfg.l2->inclusion = L2Inclusion::kInclusive;
+        shapes.push_back(s);
+    }
+    {
+        // Exclusive policy exercises the supply-and-invalidate and
+        // victim-allocation paths instead.
+        Shape s;
+        s.name = "4-unit tiny exclusive L2";
+        s.cfg.numUnits = 4;
+        s.cfg.writeSetOracle = true;
+        s.cfg.l2.emplace();
+        s.cfg.l2->sizeBytes = 2048;
+        s.cfg.l2->assoc = 2;
+        s.cfg.l2->numBanks = 2;
+        s.cfg.l2->mshrsPerBank = 2;
+        s.cfg.l2->inclusion = L2Inclusion::kExclusive;
+        shapes.push_back(s);
+    }
 
     for (const Shape &shape : shapes) {
         MultiscalarProcessor proc(ms_prog, shape.cfg);
@@ -426,12 +457,15 @@ TEST_P(RandomProgram, AllMachinesMatchTheReference)
     }
 
     // The quiescence fast-forward must be cycle-exact on arbitrary
-    // squash-heavy programs, not just the curated workloads: the
-    // default shape re-run with fast-forward disabled must agree on
-    // every timing observable.
-    {
-        MsConfig on_cfg;
-        MsConfig off_cfg;
+    // squash-heavy programs, not just the curated workloads: each
+    // differential shape re-run with fast-forward disabled must
+    // agree on every timing observable. The L2-enabled variant uses
+    // the slow bus and a tiny single-MSHR L2 so quiescent windows
+    // routinely end on an in-flight L2 fill (the nextEventCycle
+    // extension this PR adds).
+    auto ffDifferential = [&](MsConfig cfg, const char *tag) {
+        MsConfig on_cfg = cfg;
+        MsConfig off_cfg = cfg;
         on_cfg.writeSetOracle = true;
         off_cfg.writeSetOracle = true;
         off_cfg.fastForward = false;
@@ -439,19 +473,35 @@ TEST_P(RandomProgram, AllMachinesMatchTheReference)
         MultiscalarProcessor off_proc(ms_prog, off_cfg);
         RunResult on = on_proc.run(5'000'000);
         RunResult off = off_proc.run(5'000'000);
-        ASSERT_TRUE(on.exited && off.exited) << src;
-        EXPECT_EQ(on.cycles, off.cycles) << "fast-forward drift\n"
-                                         << src;
-        EXPECT_EQ(on.output, off.output) << src;
-        EXPECT_EQ(on.instructions, off.instructions) << src;
-        EXPECT_EQ(on.tasksSquashed, off.tasksSquashed) << src;
-        EXPECT_EQ(on.idleCycles, off.idleCycles) << src;
-        EXPECT_EQ(off.fastForwardedCycles, 0u) << src;
+        ASSERT_TRUE(on.exited && off.exited) << tag << "\n" << src;
+        EXPECT_EQ(on.cycles, off.cycles)
+            << tag << " fast-forward drift\n" << src;
+        EXPECT_EQ(on.output, off.output) << tag << "\n" << src;
+        EXPECT_EQ(on.instructions, off.instructions) << tag << "\n"
+                                                     << src;
+        EXPECT_EQ(on.tasksSquashed, off.tasksSquashed) << tag << "\n"
+                                                       << src;
+        EXPECT_EQ(on.idleCycles, off.idleCycles) << tag << "\n"
+                                                 << src;
+        EXPECT_EQ(off.fastForwardedCycles, 0u) << tag << "\n" << src;
         for (size_t cat = 0; cat < kNumCycleCats; ++cat) {
             EXPECT_EQ(on.accounting.total[cat],
                       off.accounting.total[cat])
-                << cycleCatName(CycleCat(cat)) << "\n" << src;
+                << tag << " " << cycleCatName(CycleCat(cat)) << "\n"
+                << src;
         }
+    };
+    ffDifferential(MsConfig{}, "default");
+    {
+        MsConfig l2_cfg;
+        l2_cfg.bus.firstBeatLatency = 100;
+        l2_cfg.l2.emplace();
+        l2_cfg.l2->sizeBytes = 1024;
+        l2_cfg.l2->assoc = 1;
+        l2_cfg.l2->numBanks = 1;
+        l2_cfg.l2->mshrsPerBank = 1;
+        l2_cfg.l2->inclusion = L2Inclusion::kInclusive;
+        ffDifferential(l2_cfg, "tiny inclusive L2 + slow bus");
     }
 }
 

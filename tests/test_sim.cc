@@ -249,10 +249,11 @@ SPIN:
 TEST(Workloads, RegistryIsComplete)
 {
     const auto &reg = workloads::registry();
-    EXPECT_EQ(reg.size(), 10u);
+    EXPECT_EQ(reg.size(), 15u);
     for (const char *name :
          {"compress", "eqntott", "espresso", "gcc", "sc", "xlisp",
-          "tomcatv", "cmp", "wc", "example"})
+          "tomcatv", "cmp", "wc", "example", "pointer_chase",
+          "stream_triad", "gups", "stencil", "thrash"})
         EXPECT_TRUE(reg.count(name)) << name;
     EXPECT_THROW(workloads::get("nope"), FatalError);
     EXPECT_THROW(workloads::get("wc", 0), FatalError);

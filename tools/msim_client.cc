@@ -341,6 +341,50 @@ cmdSelftest(Client &client, bool smoke)
         }
     }
 
+    // L2-enabled inline machine: the shared L2 (exclusive policy, to
+    // exercise the least-trodden paths) over a cache-stress workload
+    // must also round-trip bit for bit — the server builds the same
+    // hierarchy the local library does.
+    {
+        msim::config::MachineShape shape;
+        shape.multiscalar = true;
+        shape.ms.l2.emplace();
+        shape.ms.l2->sizeBytes = 256 * 1024;
+        shape.ms.l2->inclusion = msim::L2Inclusion::kExclusive;
+        const msim::RunSpec spec = msim::config::toRunSpec(shape);
+
+        Value request = msim::server::makeRunRequest("pointer_chase",
+                                                     spec, 1, 11);
+        request.find("spec")->set(
+            "machine", msim::config::shapeToJson(shape));
+        const Value response = client.call(request);
+        if (msim::server::isErrorFrame(response)) {
+            std::fprintf(stderr,
+                         "selftest: L2 machine run failed: %s\n",
+                         response.dump().c_str());
+            return 1;
+        }
+        auto compiled =
+            cache.get("pointer_chase", true, spec.defines, 1);
+        const msim::RunResult local =
+            msim::runCompiled(*compiled, spec);
+        const Value *remote = response.find("result");
+        const std::string localDump =
+            msim::server::resultToJson(local).dump();
+        if (remote == nullptr || remote->dump() != localDump) {
+            std::fprintf(
+                stderr,
+                "selftest: MISMATCH on pointer_chase (L2 machine)\n"
+                "  server: %s\n  local:  %s\n",
+                remote != nullptr ? remote->dump().c_str() : "absent",
+                localDump.c_str());
+            rc = 1;
+        } else {
+            std::printf("selftest: run pointer_chase (L2 machine) "
+                        "identical\n");
+        }
+    }
+
     // Sweep: every streamed cell row must match the same cell run by
     // the in-process SweepScheduler (wall clock aside).
     const msim::exp::Experiment e = table2Experiment(smoke);

@@ -20,25 +20,53 @@ passName(PassId pass)
         return "missing-last-update";
       case PassId::kUseBeforeDef:
         return "use-before-def";
+      case PassId::kMemConflict:
+        return "mem-conflict";
+      case PassId::kStackDiscipline:
+        return "stack-discipline";
+      case PassId::kDeadStore:
+        return "dead-store";
     }
     return "unknown";
 }
 
-unsigned
-AnalysisReport::errorCount() const
+std::optional<PassId>
+passByName(std::string_view name)
 {
-    return unsigned(std::count_if(
-        diagnostics.begin(), diagnostics.end(),
-        [](const Diagnostic &d) { return d.severity == Severity::kError; }));
-}
-
-unsigned
-AnalysisReport::warningCount() const
-{
-    return unsigned(diagnostics.size()) - errorCount();
+    for (auto pass :
+         {PassId::kMaskSoundness, PassId::kMaskPrecision,
+          PassId::kPrematureForward, PassId::kMissingLastUpdate,
+          PassId::kUseBeforeDef, PassId::kMemConflict,
+          PassId::kStackDiscipline, PassId::kDeadStore}) {
+        if (name == passName(pass))
+            return pass;
+    }
+    return std::nullopt;
 }
 
 namespace {
+
+unsigned
+countOf(const std::vector<Diagnostic> &diags, Severity sev)
+{
+    return unsigned(std::count_if(
+        diags.begin(), diags.end(),
+        [sev](const Diagnostic &d) { return d.severity == sev; }));
+}
+
+const char *
+severityName(Severity sev)
+{
+    switch (sev) {
+      case Severity::kError:
+        return "error";
+      case Severity::kWarning:
+        return "warning";
+      case Severity::kInfo:
+        return "info";
+    }
+    return "unknown";
+}
 
 void
 renderLine(std::ostringstream &os, const Diagnostic &d)
@@ -49,9 +77,31 @@ renderLine(std::ostringstream &os, const Diagnostic &d)
         os << d.line << ":";
     if (!d.file.empty() || d.line > 0)
         os << " ";
-    os << (d.severity == Severity::kError ? "error: " : "warning: ")
-       << d.message << " [" << passName(d.pass) << "]\n";
+    os << severityName(d.severity) << ": " << d.message << " ["
+       << passName(d.pass) << "]\n";
 }
+
+} // namespace
+
+unsigned
+AnalysisReport::errorCount() const
+{
+    return countOf(diagnostics, Severity::kError);
+}
+
+unsigned
+AnalysisReport::warningCount() const
+{
+    return countOf(diagnostics, Severity::kWarning);
+}
+
+unsigned
+AnalysisReport::infoCount() const
+{
+    return countOf(diagnostics, Severity::kInfo);
+}
+
+namespace {
 
 /** Escape a string for a JSON literal. */
 std::string
@@ -92,15 +142,18 @@ std::string
 AnalysisReport::toText() const
 {
     std::ostringstream os;
-    for (const Diagnostic &d : diagnostics)
-        if (d.severity == Severity::kError)
-            renderLine(os, d);
-    for (const Diagnostic &d : diagnostics)
-        if (d.severity == Severity::kWarning)
-            renderLine(os, d);
+    for (auto sev :
+         {Severity::kError, Severity::kWarning, Severity::kInfo}) {
+        for (const Diagnostic &d : diagnostics)
+            if (d.severity == sev)
+                renderLine(os, d);
+    }
     if (!diagnostics.empty()) {
         os << errorCount() << " error(s), " << warningCount()
-           << " warning(s) across " << numTasks << " task(s)\n";
+           << " warning(s)";
+        if (infoCount() > 0)
+            os << ", " << infoCount() << " info(s)";
+        os << " across " << numTasks << " task(s)\n";
     }
     return os.str();
 }
@@ -115,15 +168,25 @@ AnalysisReport::toJson() const
     os << "  \"truncated_tasks\": " << truncatedTasks << ",\n";
     os << "  \"errors\": " << errorCount() << ",\n";
     os << "  \"warnings\": " << warningCount() << ",\n";
+    os << "  \"infos\": " << infoCount() << ",\n";
+    if (mem.present) {
+        char density[32];
+        std::snprintf(density, sizeof(density), "%.4f", mem.density());
+        os << "  \"mem\": {\"tasks\": " << mem.tasks
+           << ", \"reachable_tasks\": " << mem.reachableTasks
+           << ", \"ordered_pairs\": " << mem.orderedPairs
+           << ", \"conflict_pairs\": " << mem.conflictPairs
+           << ", \"unknown_load_tasks\": " << mem.unknownLoadTasks
+           << ", \"unknown_store_tasks\": " << mem.unknownStoreTasks
+           << ", \"conflict_density\": " << density << "},\n";
+    }
     os << "  \"diagnostics\": [";
     bool first = true;
     for (const Diagnostic &d : diagnostics) {
         os << (first ? "\n" : ",\n");
         first = false;
         os << "    {\"pass\": \"" << passName(d.pass) << "\", "
-           << "\"severity\": \""
-           << (d.severity == Severity::kError ? "error" : "warning")
-           << "\", "
+           << "\"severity\": \"" << severityName(d.severity) << "\", "
            << "\"task\": \"" << jsonEscape(d.taskName) << "\", "
            << "\"pc\": " << d.pc << ", "
            << "\"reg\": " << int(d.reg) << ", "

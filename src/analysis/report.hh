@@ -10,26 +10,42 @@
 #ifndef MSIM_ANALYSIS_REPORT_HH
 #define MSIM_ANALYSIS_REPORT_HH
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace msim::analysis {
 
-/** The five verification passes (see verifier.hh). */
+/**
+ * The verification passes: five annotation passes (verifier.hh) and
+ * three memory-dependence passes (mem_dep.hh).
+ */
 enum class PassId : std::uint8_t {
     kMaskSoundness,      //!< write outside mask reaches a stale read
     kMaskPrecision,      //!< mask entry never written nor released
     kPrematureForward,   //!< write after the register was forwarded
     kMissingLastUpdate,  //!< path reaches a stop without forwarding
     kUseBeforeDef,       //!< read of a value no path defines
+    kMemConflict,        //!< cross-task may-store/may-load overlap
+    kStackDiscipline,    //!< unbalanced $sp adjustment across a task
+    kDeadStore,          //!< store overwritten before any may-read
 };
 
-enum class Severity : std::uint8_t { kWarning, kError };
+/**
+ * Finding severities. kInfo never gates an exit status (even under
+ * --strict): it marks expected-but-noteworthy behavior, like the
+ * predicted ARB squash sources of mem-conflict.
+ */
+enum class Severity : std::uint8_t { kInfo, kWarning, kError };
 
 /** @return the stable kebab-case name of a pass ("mask-soundness"). */
 const char *passName(PassId pass);
+
+/** @return the pass with the given kebab-case name, if any. */
+std::optional<PassId> passByName(std::string_view name);
 
 /** One finding. */
 struct Diagnostic
@@ -52,6 +68,36 @@ struct Diagnostic
     std::string message;
 };
 
+/**
+ * Aggregate numbers of the memory-dependence analysis (mem_dep.hh):
+ * the statically predicted cross-task conflict density of a program,
+ * for correlating lint output with measured squash counters.
+ */
+struct MemDepStats
+{
+    /** True once a MemDepAnalysis filled these numbers in. */
+    bool present = false;
+    /** Tasks with a memory summary. */
+    unsigned tasks = 0;
+    /** Tasks reachable from the program entry over the task graph. */
+    unsigned reachableTasks = 0;
+    /** Ordered reachable (earlier, later) task pairs considered. */
+    unsigned orderedPairs = 0;
+    /** Pairs whose may-store/may-load sets overlap. */
+    unsigned conflictPairs = 0;
+    /** Tasks whose may-load set widened to unknown. */
+    unsigned unknownLoadTasks = 0;
+    /** Tasks whose may-store set widened to unknown. */
+    unsigned unknownStoreTasks = 0;
+
+    /** @return predicted conflict density in [0, 1]. */
+    double
+    density() const
+    {
+        return orderedPairs ? double(conflictPairs) / orderedPairs : 0.0;
+    }
+};
+
 /** Everything the verifier found for one program. */
 struct AnalysisReport
 {
@@ -60,9 +106,12 @@ struct AnalysisReport
     unsigned numTasks = 0;
     /** Tasks whose CFG walk hit the state cap (facts incomplete). */
     unsigned truncatedTasks = 0;
+    /** Predicted conflict density (filled by MemDepAnalysis::lint). */
+    MemDepStats mem;
 
     unsigned errorCount() const;
     unsigned warningCount() const;
+    unsigned infoCount() const;
     bool hasErrors() const { return errorCount() > 0; }
 
     /**

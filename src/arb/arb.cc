@@ -189,6 +189,8 @@ Arb::store(TaskSeq seq, Addr addr, unsigned size, std::uint64_t value,
     stats_.add("stores");
     if (violator) {
         stats_.add("violations");
+        stats_.addToDist("violationsByBank",
+                         "bank" + std::to_string(bankOf(addr)));
         if (tracer_ && tracer_->wants(TraceCat::kArb)) {
             tracer_->instant(TraceCat::kArb, "violation",
                              tracer_->now(), kTidArb, "addr", addr,
@@ -237,6 +239,8 @@ Arb::squash(TaskSeq seq)
     auto tit = touched_.find(seq);
     if (tit == touched_.end())
         return;  // the task never allocated a record
+    std::uint64_t squashedStores = 0;
+    std::uint64_t squashedLoads = 0;
     for (Addr g : tit->second) {
         Bank &bank = banks_[bankOf(g)];
         auto it = bank.find(g);
@@ -248,11 +252,24 @@ Arb::squash(TaskSeq seq)
             [&](const TaskRecord &r) { return r.seq == seq; });
         panicIf(rit == entry.records.end(),
                 "ARB squash: touched granule has no record");
-        if (rit->storeMask)
+        if (rit->storeMask) {
             stats_.add("squashedStores");
+            ++squashedStores;
+        }
+        if (rit->loadMask)
+            ++squashedLoads;
         entry.records.erase(rit);
         if (entry.records.empty())
             bank.erase(it);
+    }
+    if (squashedStores)
+        stats_.addToDist("squashedRecords", "store", squashedStores);
+    if (squashedLoads)
+        stats_.addToDist("squashedRecords", "load", squashedLoads);
+    if (tracer_ && tracer_->wants(TraceCat::kArb)) {
+        tracer_->instant(TraceCat::kArb, "task_squash", tracer_->now(),
+                         kTidArb, "seq", seq, "granules",
+                         std::uint64_t(tit->second.size()));
     }
     touched_.erase(tit);
 }

@@ -89,6 +89,18 @@ struct MsConfig
      */
     bool writeSetOracle = false;
 
+    /**
+     * Dynamic memory-dependence oracle: run the static
+     * memory-dependence analysis (src/analysis/mem_dep.hh) over the
+     * program at construction and assert, at every ARB violation,
+     * that the (store-task, load-task, address) triple is contained
+     * in the static may-conflict prediction. Purely a checking mode
+     * (used by the property/fuzz tests); no effect on timing. Tasks
+     * whose CFG the static walk could not fully explore are
+     * trivially contained.
+     */
+    bool memDepOracle = false;
+
     /** @return the effective number of data banks. */
     unsigned
     effectiveBanks() const

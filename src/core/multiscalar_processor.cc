@@ -104,8 +104,12 @@ MultiscalarProcessor::MultiscalarProcessor(const Program &program,
     // for untraced runs (where the hot loop must stay lean anyway).
     fastForward_ = config.fastForward && !tracer_ &&
                    !std::getenv("MSIM_NO_FASTFORWARD");
-    if (config.writeSetOracle)
+    if (config.writeSetOracle || config.memDepOracle)
         oracle_ = std::make_unique<analysis::AnnotationVerifier>(program);
+    if (config.memDepOracle) {
+        memDep_ =
+            std::make_unique<analysis::MemDepAnalysis>(program, *oracle_);
+    }
 }
 
 void
@@ -193,6 +197,31 @@ MultiscalarProcessor::memStore(unsigned unit, Addr addr, unsigned size,
     auto violator = arb_->store(seqOf(unit), addr, size, value,
                                 unitIsHead(unit));
     if (violator) {
+        if (memDep_) {
+            // The earliest violated task must be active: find its
+            // unit to learn which static task it is running.
+            const Addr storeTask = taskInfo_[unit].start;
+            Addr loadTask = 0;
+            for (unsigned p = 0; p < numActive_; ++p) {
+                if (seqOf(unitAt(p)) == *violator) {
+                    loadTask = taskInfo_[unitAt(p)].start;
+                    break;
+                }
+            }
+            panicIf(loadTask == 0,
+                    "mem-dep oracle: violated seq ", *violator,
+                    " is not an active task");
+            if (!memDep_->violationPredicted(storeTask, loadTask, addr,
+                                             size)) {
+                char what[128];
+                std::snprintf(what, sizeof(what),
+                              "store task 0x%x -> load task 0x%x at "
+                              "addr 0x%x size %u",
+                              storeTask, loadTask, addr, size);
+                panic("mem-dep oracle: ARB violation (", what,
+                      ") outside the static may-conflict prediction");
+            }
+        }
         if (!pendingViolation_ || *violator < *pendingViolation_)
             pendingViolation_ = *violator;
     }
@@ -523,7 +552,7 @@ MultiscalarProcessor::assignPhase(Cycle now)
     }
     pu(unit).assignTask(info.seq, addr, desc->createMask, busy,
                         init.data(), producers.data());
-    if (oracle_) {
+    if (oracle_ && config_.writeSetOracle) {
         const analysis::TaskFacts *facts = oracle_->facts(addr);
         if (facts && !facts->incomplete)
             pu(unit).setWriteOracle(facts->mayWrite, facts->mayForward);

@@ -39,6 +39,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/mem_dep.hh"
 #include "analysis/verifier.hh"
 #include "arb/arb.hh"
 #include "common/stats.hh"
@@ -183,6 +184,8 @@ class MultiscalarProcessor : public PuContext
     std::unique_ptr<SyscallHandler> syscalls_;
     /** Static per-task facts backing the write-set oracle. */
     std::unique_ptr<analysis::AnnotationVerifier> oracle_;
+    /** Static conflict prediction backing the mem-dep oracle. */
+    std::unique_ptr<analysis::MemDepAnalysis> memDep_;
     std::vector<std::unique_ptr<ProcessingUnit>> units_;
     std::vector<ActiveTask> taskInfo_;
 

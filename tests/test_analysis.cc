@@ -9,9 +9,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/mem_dep.hh"
 #include "analysis/verifier.hh"
 #include "asm/assembler.hh"
 #include "common/logging.hh"
+#include "sim/runner.hh"
+#include "workloads/workload.hh"
 
 namespace msim {
 namespace {
@@ -505,6 +513,328 @@ TEST(Analysis, StrictAssemblerRejectsUnsoundProgram)
     // The clean twin passes the same gate.
     Program p = assembler::assemble(kClean, opts);
     EXPECT_EQ(p.tasks.size(), 3u);
+}
+
+// ---- memory-dependence analysis (mem_dep.hh) -----------------------
+
+using analysis::AbsVal;
+using analysis::MemDepAnalysis;
+using analysis::MemRegion;
+using analysis::MemSummary;
+
+/** Program + verifier + analysis with the right lifetimes. */
+struct MemDep
+{
+    Program p;
+    AnnotationVerifier v;
+    MemDepAnalysis a;
+
+    explicit MemDep(const std::string &src) : p(ms(src)), v(p), a(p, v)
+    {
+    }
+};
+
+TEST(MemDep, CosetLatticeJoinAndArithmetic)
+{
+    const AbsVal c0 = AbsVal::constant(0);
+    const AbsVal c4 = AbsVal::constant(4);
+    // Joining c and c+4 yields the stride-4 coset, which then absorbs
+    // every further increment of 4 (loop convergence, no widening).
+    const AbsVal s = join(c0, c4);
+    EXPECT_EQ(s.kind, AbsVal::Kind::kStride);
+    EXPECT_EQ(s.grainLog, 2u);
+    EXPECT_EQ(join(s, add(s, c4)), s);
+    // A decrementing induction lands in the same lattice point.
+    const AbsVal dec = join(c0, AbsVal::constant(Word(0) - 4));
+    EXPECT_EQ(dec.grainLog, 2u);
+    // Join with Top and Bottom behave as the lattice bounds.
+    EXPECT_EQ(join(AbsVal::top(), c0).kind, AbsVal::Kind::kTop);
+    EXPECT_EQ(join(AbsVal::bottom(), c4), c4);
+    // Shifting a stride scales its grain; shifting into bit 32 makes
+    // the value exact again (everything but the base wraps away).
+    EXPECT_EQ(shiftLeft(s, 3).grainLog, 5u);
+    EXPECT_EQ(shiftLeft(s, 30).kind, AbsVal::Kind::kConst);
+    // Odd strides coarsen to their largest power-of-two divisor.
+    const AbsVal odd = join(c0, AbsVal::constant(12));
+    EXPECT_EQ(odd.grainLog, 2u);
+}
+
+TEST(MemDep, RegionOverlapAndCover)
+{
+    const MemRegion word{0x1000, 32, 4, 0};
+    const MemRegion sameWord{0x1002, 32, 2, 0};
+    const MemRegion nextWord{0x1004, 32, 4, 0};
+    EXPECT_TRUE(word.overlaps(sameWord));
+    EXPECT_TRUE(sameWord.overlaps(word));
+    EXPECT_FALSE(word.overlaps(nextWord));
+    // A stride-16 coset of words hits 0x1000 but not 0x1004.
+    const MemRegion strided{0x1000, 4, 4, 0};
+    EXPECT_TRUE(strided.overlaps(word));
+    EXPECT_FALSE(strided.overlaps(nextWord));
+    EXPECT_TRUE(strided.covers(0x1230, 4));
+    EXPECT_FALSE(strided.covers(0x1234, 4));
+    // Wraparound: bytes on both sides of the grain boundary.
+    const MemRegion high{0x100f, 4, 4, 0};
+    EXPECT_TRUE(high.overlaps(word));
+}
+
+// Task STORE writes a global a later task LOAD reads: the canonical
+// cross-task memory hazard the ARB exists to catch.
+const char *const kConflict = R"(
+        .data
+VAR:    .word 0
+OTHER:  .word 0
+        .text
+main:   li   $20, 7 !f
+        b    STORE !s
+.task main
+.targets STORE
+.create $20
+.endtask
+.task STORE
+.targets LOAD
+.endtask
+STORE:  sw   $20, VAR
+        b    LOAD !s
+.task LOAD
+.endtask
+LOAD:   lw   $4, VAR
+        li   $2, 1
+        syscall
+        li   $2, 10
+        syscall
+)";
+
+TEST(MemDep, SummariesAndConflictPair)
+{
+    MemDep m(kConflict);
+    const Addr store = m.p.symbols.at("STORE");
+    const Addr load = m.p.symbols.at("LOAD");
+    const Addr var = m.p.symbols.at("VAR");
+
+    const MemSummary *ss = m.a.summary(store);
+    ASSERT_NE(ss, nullptr);
+    EXPECT_FALSE(ss->storeUnknown);
+    ASSERT_EQ(ss->stores.size(), 1u);
+    EXPECT_TRUE(ss->stores[0].exact());
+    EXPECT_EQ(ss->stores[0].base, var);
+    EXPECT_EQ(ss->stores[0].width, 4u);
+
+    EXPECT_TRUE(m.a.conflict(store, load));
+    EXPECT_FALSE(m.a.conflict(load, store));
+
+    // The oracle containment query: the actual triple is predicted,
+    // a disjoint address is not.
+    EXPECT_TRUE(m.a.violationPredicted(store, load, var, 4));
+    EXPECT_FALSE(m.a.violationPredicted(store, load, var + 64, 4));
+}
+
+TEST(MemDep, MemConflictFlagsCrossTaskOverlap)
+{
+    MemDep m(kConflict);
+    const AnalysisReport rep = m.a.lint();
+    ASSERT_EQ(count(rep, PassId::kMemConflict), 1u) << rep.toText();
+    const analysis::Diagnostic *d = find(rep, PassId::kMemConflict);
+    EXPECT_EQ(d->severity, Severity::kInfo);
+    EXPECT_EQ(d->taskName, "STORE");
+    EXPECT_NE(d->message.find("LOAD"), std::string::npos) << d->message;
+    // Info findings never count as warnings or errors.
+    EXPECT_EQ(rep.errorCount(), 0u);
+    EXPECT_EQ(rep.warningCount(), 0u);
+    EXPECT_EQ(rep.infoCount(), 1u);
+    // The stats block reflects the one conflicting pair.
+    EXPECT_TRUE(rep.mem.present);
+    EXPECT_EQ(rep.mem.conflictPairs, 1u);
+    EXPECT_GT(rep.mem.orderedPairs, rep.mem.conflictPairs);
+    EXPECT_GT(rep.mem.density(), 0.0);
+}
+
+TEST(MemDep, MemConflictCleanOnDisjointAddresses)
+{
+    // The same shape, but the later task reads a different global.
+    std::string src = kConflict;
+    src.replace(src.find("lw   $4, VAR"), 12, "lw   $4, OTHER");
+    MemDep m(src);
+    const AnalysisReport rep = m.a.lint();
+    EXPECT_EQ(count(rep, PassId::kMemConflict), 0u) << rep.toText();
+    EXPECT_EQ(rep.mem.conflictPairs, 0u);
+}
+
+const char *const kUnbalancedSp = R"(
+        .text
+main:   addiu $sp, $sp, -16
+        b     DONE !s
+.task main
+.targets DONE
+.endtask
+.task DONE
+.endtask
+DONE:   li   $2, 10
+        syscall
+)";
+
+TEST(MemDep, StackDisciplineFlagsUnbalancedSp)
+{
+    MemDep m(kUnbalancedSp);
+    const AnalysisReport rep = m.a.lint();
+    ASSERT_EQ(count(rep, PassId::kStackDiscipline), 1u) << rep.toText();
+    const analysis::Diagnostic *d = find(rep, PassId::kStackDiscipline);
+    EXPECT_EQ(d->severity, Severity::kError);
+    EXPECT_EQ(d->taskName, "main");
+    EXPECT_NE(d->message.find("-16"), std::string::npos) << d->message;
+    EXPECT_TRUE(rep.hasErrors());
+}
+
+TEST(MemDep, StackDisciplineCleanWhenBalanced)
+{
+    std::string src = kUnbalancedSp;
+    src.replace(src.find("b     DONE !s"), 13,
+                "addiu $sp, $sp, 16\n        b     DONE !s");
+    MemDep m(src);
+    const AnalysisReport rep = m.a.lint();
+    EXPECT_EQ(count(rep, PassId::kStackDiscipline), 0u) << rep.toText();
+}
+
+const char *const kDeadStore = R"(
+        .data
+VAR:    .word 0
+        .text
+main:   li   $20, 1
+        sw   $20, VAR
+        li   $21, 2
+        sw   $21, VAR
+        lw   $4, VAR
+        li   $2, 1
+        syscall
+        li   $2, 10
+        syscall
+.task main
+.endtask
+)";
+
+TEST(MemDep, DeadStoreFlagsOverwrittenStore)
+{
+    MemDep m(kDeadStore);
+    const AnalysisReport rep = m.a.lint();
+    ASSERT_EQ(count(rep, PassId::kDeadStore), 1u) << rep.toText();
+    const analysis::Diagnostic *d = find(rep, PassId::kDeadStore);
+    EXPECT_EQ(d->severity, Severity::kWarning);
+    EXPECT_NE(d->message.find("overwrites"), std::string::npos)
+        << d->message;
+}
+
+TEST(MemDep, DeadStoreCleanWhenLoadIntervenes)
+{
+    std::string src = kDeadStore;
+    src.replace(src.find("li   $21, 2"), 11,
+                "lw   $22, VAR\n        li   $21, 2");
+    MemDep m(src);
+    const AnalysisReport rep = m.a.lint();
+    EXPECT_EQ(count(rep, PassId::kDeadStore), 0u) << rep.toText();
+}
+
+TEST(MemDep, JsonCarriesMemStats)
+{
+    MemDep m(kConflict);
+    const std::string json = m.a.lint().toJson();
+    EXPECT_NE(json.find("\"mem\": {"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"conflict_pairs\": 1"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"conflict_density\":"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"infos\": 1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"mem-conflict\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"info\""), std::string::npos) << json;
+}
+
+/**
+ * End-to-end golden test of the lint tool's JSON output: exec the
+ * real msim-lint binary in --format json mode on one workload with
+ * every pass enabled and pin the bytes. Regenerate after an intended
+ * report change with:
+ *
+ *     cd build && MSIM_REGEN_GOLDEN=1 ./tests/test_analysis
+ */
+TEST(MemDep, LintJsonMatchesGoldenSnapshot)
+{
+    const std::string golden =
+        std::string(MSIM_GOLDEN_DIR) + "/lint_compress.json";
+    const std::string cmd =
+        std::string(MSIM_LINT_BIN) + " --format json compress";
+
+    FILE *pipe = popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    std::string out;
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0)
+        out.append(buf, n);
+    const int status = pclose(pipe);
+    // Exit 0: info findings (mem-conflict) never gate.
+    EXPECT_EQ(status, 0) << out;
+
+    if (std::getenv("MSIM_REGEN_GOLDEN")) {
+        std::ofstream f(golden, std::ios::binary);
+        ASSERT_TRUE(f.good()) << golden;
+        f << out;
+        GTEST_SKIP() << "regenerated " << golden;
+    }
+
+    std::ifstream f(golden, std::ios::binary);
+    ASSERT_TRUE(f.good())
+        << golden << " missing; regenerate with MSIM_REGEN_GOLDEN=1";
+    std::ostringstream want;
+    want << f.rdbuf();
+    EXPECT_EQ(out, want.str());
+}
+
+/**
+ * The soundness gate over the shipped programs: run every registered
+ * workload on the multiscalar machine with the memDepOracle armed.
+ * Any ARB violation whose (store-task, load-task, address) triple is
+ * not contained in the static may-conflict prediction panics the run.
+ */
+TEST(MemDep, OracleHoldsOnWorkloadRegistry)
+{
+    for (const auto &[name, factory] : workloads::registry()) {
+        (void)factory;
+        workloads::Workload w = workloads::get(name);
+        RunSpec spec;
+        spec.multiscalar = true;
+        spec.ms.memDepOracle = true;
+        RunResult r = runWorkload(w, spec);
+        EXPECT_TRUE(r.exited) << name;
+        EXPECT_EQ(r.output, w.expected) << name;
+    }
+}
+
+/**
+ * Predicted-vs-measured: the static conflict density is computable
+ * for every shipped workload, and workloads that actually squash
+ * (squashes > 0 measured) are predicted to have at least one
+ * conflict pair — the lint side of the oracle's soundness.
+ */
+TEST(MemDep, PredictedDensityCoversMeasuredSquashes)
+{
+    for (const auto &[name, factory] : workloads::registry()) {
+        (void)factory;
+        workloads::Workload w = workloads::get(name);
+        RunSpec spec;
+        spec.multiscalar = true;
+        RunResult r = runWorkload(w, spec);
+
+        Program p = assembleWorkload(w, /*multiscalar=*/true);
+        AnnotationVerifier v(p);
+        MemDepAnalysis a(p, v);
+        const AnalysisReport rep = a.lint();
+        EXPECT_TRUE(rep.mem.present) << name;
+        if (r.memorySquashes > 0) {
+            EXPECT_GT(rep.mem.conflictPairs, 0u)
+                << name << ": " << r.memorySquashes
+                << " measured memory squashes but no predicted "
+                   "conflict pair";
+        }
+    }
 }
 
 } // namespace

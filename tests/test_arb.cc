@@ -281,5 +281,38 @@ TEST_F(ArbTest, RandomizedDifferentialAgainstFlatMemory)
         EXPECT_EQ(mem_.read(a, 1), v) << "addr " << a;
 }
 
+TEST_F(ArbTest, CountersSurviveSquashHeavyRun)
+{
+    // A squash-heavy sequence: later tasks load ahead of earlier
+    // stores over and over, each round ending in a violation and a
+    // squash of the violated task.
+    const unsigned kRounds = 8;
+    for (unsigned round = 0; round < kRounds; ++round) {
+        const TaskSeq early = 2 * round + 1;
+        const TaskSeq late = 2 * round + 2;
+        const Addr addr = Addr(0x5000 + 16 * round);
+        arb_.load(late, addr, 4, false);
+        arb_.store(late, addr + 8, 4, 0xbeef, false);
+        auto violator = arb_.store(early, addr, 4, round, false);
+        ASSERT_TRUE(violator.has_value());
+        EXPECT_EQ(*violator, late);
+        arb_.squash(late);
+        arb_.commit(early);
+    }
+
+    // The scalar counters and the exported distributions survived
+    // every squash: violations by bank, squashed records by kind.
+    const StatGroup &g = stats_.group("arb");
+    EXPECT_EQ(g.get("violations"), kRounds);
+    EXPECT_EQ(g.get("squashedStores"), kRounds);
+    std::uint64_t byBank = 0;
+    for (const auto &[bucket, n] : g.dists().at("violationsByBank"))
+        byBank += n;
+    EXPECT_EQ(byBank, kRounds);
+    EXPECT_EQ(g.getDist("squashedRecords", "store"), kRounds);
+    EXPECT_EQ(g.getDist("squashedRecords", "load"), kRounds);
+    EXPECT_EQ(arb_.totalEntries(), 0u);
+}
+
 } // namespace
 } // namespace msim

@@ -1,6 +1,7 @@
 /**
  * @file
- * msim-lint: static annotation verification for multiscalar programs.
+ * msim-lint: static annotation and memory-dependence verification
+ * for multiscalar programs.
  *
  *   msim-lint [options] <workload-or-file>...
  *   msim-lint --all
@@ -13,12 +14,17 @@
  *   --scalar        assemble the scalar variant (no annotations;
  *                   useful to prove the shared source still parses)
  *   --define NAME   define an assembly variant symbol (repeatable)
- *   --json          emit one JSON report per input (msim-lint-v1)
+ *   --format FMT    output format: text (default) or json
+ *   --json          shorthand for --format json (msim-lint-v1)
+ *   --passes LIST   run only the comma-separated passes (default:
+ *                   all eight; names as in the README table)
  *   --strict        exit nonzero on warnings as well as errors
  *   --quiet         suppress clean-input chatter
  *
  * Exit status: 0 when no input has errors (nor, with --strict,
  * warnings); 1 when findings gate; 2 on usage or assembly failure.
+ * Info-severity findings (mem-conflict) never gate, even with
+ * --strict.
  *
  * Example diagnostic:
  *
@@ -28,14 +34,17 @@
  *   with !f or release the register) [missing-last-update]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/mem_dep.hh"
 #include "analysis/verifier.hh"
 #include "asm/assembler.hh"
 #include "common/logging.hh"
@@ -48,8 +57,9 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: msim-lint [--all] [--scalar] [--define NAME]\n"
-                 "                 [--json] [--strict] [--quiet]\n"
-                 "                 <workload-or-file>...\n"
+                 "                 [--format text|json] [--json]\n"
+                 "                 [--passes p1,p2,...] [--strict]\n"
+                 "                 [--quiet] <workload-or-file>...\n"
                  "see the header of tools/msim_lint.cc for details\n");
     return 2;
 }
@@ -68,6 +78,27 @@ looksLikePath(const std::string &arg)
            arg.find('/') != std::string::npos;
 }
 
+/** Parse a comma-separated pass list; nullopt on an unknown name. */
+std::optional<std::set<msim::analysis::PassId>>
+parsePasses(const std::string &list)
+{
+    std::set<msim::analysis::PassId> out;
+    std::istringstream is(list);
+    std::string name;
+    while (std::getline(is, name, ',')) {
+        if (name.empty())
+            continue;
+        const auto pass = msim::analysis::passByName(name);
+        if (!pass) {
+            std::fprintf(stderr, "msim-lint: unknown pass '%s'\n",
+                         name.c_str());
+            return std::nullopt;
+        }
+        out.insert(*pass);
+    }
+    return out;
+}
+
 } // namespace
 
 int
@@ -78,6 +109,7 @@ main(int argc, char **argv)
     bool json = false;
     bool strict = false;
     bool quiet = false;
+    std::optional<std::set<msim::analysis::PassId>> passFilter;
     std::set<std::string> defines;
     std::vector<std::string> args;
 
@@ -89,6 +121,26 @@ main(int argc, char **argv)
             scalar = true;
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--format") {
+            if (++i >= argc)
+                return usage();
+            const std::string fmt = argv[i];
+            if (fmt == "json") {
+                json = true;
+            } else if (fmt == "text") {
+                json = false;
+            } else {
+                std::fprintf(stderr,
+                             "msim-lint: unknown format '%s'\n",
+                             fmt.c_str());
+                return usage();
+            }
+        } else if (arg == "--passes") {
+            if (++i >= argc)
+                return usage();
+            passFilter = parsePasses(argv[i]);
+            if (!passFilter)
+                return usage();
         } else if (arg == "--strict") {
             strict = true;
         } else if (arg == "--quiet") {
@@ -160,7 +212,25 @@ main(int argc, char **argv)
         }
 
         const msim::analysis::AnnotationVerifier verifier(prog);
-        const msim::analysis::AnalysisReport report = verifier.verify();
+        msim::analysis::AnalysisReport report = verifier.verify();
+
+        // The memory passes ride on the verifier's CFGs; merge their
+        // diagnostics and stats block into the one report.
+        const msim::analysis::MemDepAnalysis memdep(prog, verifier);
+        msim::analysis::AnalysisReport memRep = memdep.lint();
+        report.mem = memRep.mem;
+        report.diagnostics.insert(
+            report.diagnostics.end(),
+            std::make_move_iterator(memRep.diagnostics.begin()),
+            std::make_move_iterator(memRep.diagnostics.end()));
+
+        if (passFilter) {
+            std::erase_if(report.diagnostics,
+                          [&](const msim::analysis::Diagnostic &d) {
+                              return !passFilter->count(d.pass);
+                          });
+        }
+
         totalErrors += report.errorCount();
         totalWarnings += report.warningCount();
 
